@@ -1,0 +1,269 @@
+package tango
+
+// The benchmark harness regenerates every evaluation artifact of the
+// paper (one bench per figure/table-equivalent, E1-E8; see DESIGN.md's
+// per-experiment index) plus the ablations for the design choices the
+// controller makes. Figure-shape numbers are attached to each bench run
+// via b.ReportMetric, so `go test -bench . -benchmem` prints the
+// reproduction alongside the usual ns/op.
+//
+// The E benches run the full simulated deployment; wall-clock per
+// iteration is a few seconds (they cover tens of virtual minutes each).
+
+import (
+	"net/netip"
+	"strconv"
+	"testing"
+	"time"
+
+	"tango/internal/dataplane"
+	"tango/internal/experiments"
+	"tango/internal/packet"
+	"tango/internal/simnet"
+)
+
+func benchCfg(seed int64, d time.Duration) experiments.Config {
+	return experiments.Config{Seed: seed, Duration: d}
+}
+
+func reportChecks(b *testing.B, r *experiments.Result) {
+	b.Helper()
+	pass := 0
+	for _, c := range r.Checks {
+		if c.Pass {
+			pass++
+		}
+	}
+	b.ReportMetric(float64(pass), "checks-pass")
+	b.ReportMetric(float64(len(r.Checks)-pass), "checks-fail")
+	if !r.Passed() {
+		b.Fatalf("%s checks failed: %+v", r.ID, r.Checks)
+	}
+}
+
+// BenchmarkE1PathDiscovery regenerates Figure 3 / §4.1: the iterative
+// community-suppression discovery of 4 paths in each direction.
+func BenchmarkE1PathDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E1PathDiscovery(benchCfg(int64(i)+1, 0))
+		reportChecks(b, r)
+	}
+}
+
+// BenchmarkE2OWDComparison regenerates Figure 4 (left) / the 30% claim.
+func BenchmarkE2OWDComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E2OWDComparison(benchCfg(int64(i)+1, 10*time.Minute))
+		reportChecks(b, r)
+	}
+}
+
+// BenchmarkE3Jitter regenerates the §5 rolling-window jitter numbers.
+func BenchmarkE3Jitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E3Jitter(benchCfg(int64(i)+1, 10*time.Minute))
+		reportChecks(b, r)
+	}
+}
+
+// BenchmarkE4RouteChange regenerates Figure 4 (middle).
+func BenchmarkE4RouteChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E4RouteChange(benchCfg(int64(i)+1, 6*time.Minute))
+		reportChecks(b, r)
+	}
+}
+
+// BenchmarkE5Instability regenerates Figure 4 (right).
+func BenchmarkE5Instability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E5Instability(benchCfg(int64(i)+1, 5*time.Minute))
+		reportChecks(b, r)
+	}
+}
+
+// BenchmarkE6InOrder regenerates the §5 head-of-line-blocking analysis.
+func BenchmarkE6InOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E6InOrderImpact(benchCfg(int64(i)+1, 2*time.Minute))
+		reportChecks(b, r)
+	}
+}
+
+// BenchmarkE7MeasurementSoundness regenerates the §3/§4.2 clock-offset
+// and RTT-attribution analysis.
+func BenchmarkE7MeasurementSoundness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E7MeasurementSoundness(benchCfg(int64(i)+1, 3*time.Minute))
+		reportChecks(b, r)
+	}
+}
+
+// BenchmarkE9LossReorder regenerates the §3 loss/reorder accounting
+// validation.
+func BenchmarkE9LossReorder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E9LossReorder(benchCfg(int64(i)+1, 2*time.Minute))
+		reportChecks(b, r)
+	}
+}
+
+// benchSwitch builds a standalone switch with one tunnel for data-plane
+// microbenchmarks.
+func benchSwitch(b *testing.B) (*simnet.Network, *dataplane.Switch, *dataplane.Tunnel) {
+	b.Helper()
+	w := simnet.New(1)
+	n := w.AddNode("bench", 0)
+	sw := dataplane.NewSwitch(n)
+	tun := &dataplane.Tunnel{
+		PathID:     1,
+		Name:       "bench",
+		LocalAddr:  netip.MustParseAddr("2001:db8:1::1"),
+		RemoteAddr: netip.MustParseAddr("2001:db8:2::1"),
+		SrcPort:    40001,
+	}
+	sw.AddTunnel(tun)
+	return w, sw, tun
+}
+
+func benchInner(size int) []byte {
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(make([]byte, size))
+	udp := &packet.UDP{SrcPort: 7000, DstPort: 7001}
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64,
+		Src: netip.MustParseAddr("2001:db8:aa::1"),
+		Dst: netip.MustParseAddr("2001:db8:bb::1")}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		panic(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}
+
+// BenchmarkE8Encap measures the sender program (classify + encapsulate +
+// timestamp + checksum) on 1 KiB payloads — the eBPF-feasibility stand-in.
+func BenchmarkE8Encap(b *testing.B) {
+	w, sw, tun := benchSwitch(b)
+	inner := benchInner(1024)
+	b.SetBytes(int64(len(inner)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.SendOnTunnel(tun, inner)
+		if i%4096 == 0 {
+			b.StopTimer()
+			w.Eng.RunAll() // drain queued delivery events outside timing
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	w.Eng.RunAll()
+}
+
+// BenchmarkE8Decap measures the receiver program (parse + verify + OWD +
+// decap) on 1 KiB payloads.
+func BenchmarkE8Decap(b *testing.B) {
+	w := simnet.New(2)
+	n := w.AddNode("recv", 0)
+	sw := dataplane.NewSwitch(n)
+	tun := &dataplane.Tunnel{PathID: 1,
+		LocalAddr:  netip.MustParseAddr("2001:db8:2::1"), // remote's view
+		RemoteAddr: netip.MustParseAddr("2001:db8:1::1"),
+	}
+	// Build one encapsulated packet addressed to an owned endpoint.
+	inner := benchInner(1024)
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(inner)
+	hdr := &packet.Tango{Flags: packet.TangoFlagSeq | packet.TangoFlagTimestamp | packet.TangoFlagInner6, PathID: 1, SendTime: 1}
+	udp := &packet.UDP{SrcPort: 40001, DstPort: packet.TangoPort}
+	udp.SetNetworkForChecksum(tun.RemoteAddr, tun.LocalAddr)
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: tun.RemoteAddr, Dst: tun.LocalAddr}
+	if err := packet.SerializeLayers(buf, ip, udp, hdr, &pay); err != nil {
+		b.Fatal(err)
+	}
+	outer := make([]byte, buf.Len())
+	copy(outer, buf.Bytes())
+	n.AddAddr(tun.LocalAddr)
+	measured := 0
+	sw.OnMeasure = func(dataplane.Measurement) { measured++ }
+	b.SetBytes(int64(len(outer)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Inject(outer)
+	}
+	b.StopTimer()
+	if measured != b.N {
+		b.Fatalf("measured %d of %d", measured, b.N)
+	}
+}
+
+// BenchmarkPacketSerialize measures the raw layer-stack serialization.
+func BenchmarkPacketSerialize(b *testing.B) {
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(make([]byte, 1024))
+	hdr := &packet.Tango{Flags: packet.TangoFlagSeq | packet.TangoFlagTimestamp, PathID: 1, Seq: 1, SendTime: 1}
+	udp := &packet.UDP{SrcPort: 1, DstPort: packet.TangoPort}
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64,
+		Src: netip.MustParseAddr("2001:db8::1"), Dst: netip.MustParseAddr("2001:db8::2")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := packet.SerializeLayers(buf, ip, udp, hdr, &pay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCadence sweeps the controller decision cadence
+// (DESIGN.md §5): achieved OWD through an E4 event per cadence.
+func BenchmarkAblationCadence(b *testing.B) {
+	for _, cadence := range []time.Duration{500 * time.Millisecond, 2 * time.Second, 10 * time.Second} {
+		b.Run(cadence.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.AblationCadence(benchCfg(int64(i)+1, 0), cadence)
+				b.ReportMetric(res.MeanTrueOWDMs, "meanOWD-ms")
+				b.ReportMetric(float64(res.Switches), "switches")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHysteresis sweeps the switching margin: flap count vs
+// achieved delay under an unstable active path.
+func BenchmarkAblationHysteresis(b *testing.B) {
+	for _, m := range []float64{0.05, 0.5, 5.0} {
+		b.Run("margin-"+strconv.FormatFloat(m, 'g', -1, 64)+"ms", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.AblationHysteresis(benchCfg(int64(i)+1, 0), m)
+				b.ReportMetric(float64(res.Switches), "switches")
+				b.ReportMetric(res.MeanTrueOWDMs, "meanOWD-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEstimator sweeps the EWMA smoothing factor on a spiky
+// trace: fraction of time the estimate is >1 ms from the true floor.
+func BenchmarkAblationEstimator(b *testing.B) {
+	for _, alpha := range []float64{0.5, 0.05, 0.005} {
+		b.Run("alpha-"+strconv.FormatFloat(alpha, 'g', -1, 64), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				misled := experiments.AblationEstimator(benchCfg(int64(i)+1, 0), alpha)
+				b.ReportMetric(misled*100, "misled-pct")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProbeRate sweeps the probe interval: detection latency
+// of an E4 route change vs measurement traffic volume.
+func BenchmarkAblationProbeRate(b *testing.B) {
+	for _, ival := range []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
+		b.Run(ival.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.AblationProbeRate(benchCfg(int64(i)+1, 0), ival)
+				b.ReportMetric(res.DetectionLatency.Seconds(), "detect-s")
+				b.ReportMetric(float64(res.ProbesSent), "probes")
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Command tango-lab regenerates the paper's evaluation: every figure and
+// in-text number from §4.1 and §5 (plus the supporting analyses E6-E8
+// from DESIGN.md) on the simulated Vultr deployment.
+//
+// Usage:
+//
+//	tango-lab [-run e1,e2,...|all] [-seed N] [-duration 2h] [-csv DIR]
+//
+// Each experiment prints a table, the paper-vs-measured checks, and
+// optionally writes figure series as CSV files into -csv DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tango/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiment ids (e1..e8) or 'all'")
+		seed     = flag.Int64("seed", 1, "random seed (equal seeds reproduce exactly)")
+		duration = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
+		csvDir   = flag.String("csv", "", "directory to write figure series CSVs into")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Duration: *duration}
+	drivers := map[string]func(experiments.Config) *experiments.Result{
+		"e1": experiments.E1PathDiscovery,
+		"e2": experiments.E2OWDComparison,
+		"e3": experiments.E3Jitter,
+		"e4": experiments.E4RouteChange,
+		"e5": experiments.E5Instability,
+		"e6": experiments.E6InOrderImpact,
+		"e7": experiments.E7MeasurementSoundness,
+		"e8": experiments.E8DataPlaneCost,
+		"e9": experiments.E9LossReorder,
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+
+	var ids []string
+	if *run == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if _, ok := drivers[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have %v)\n", id, order)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	fmt.Printf("tango-lab: reproducing HotNets '22 \"It Takes Two to Tango\" (seed %d)\n\n", *seed)
+	allPass := true
+	start := time.Now()
+	for _, id := range ids {
+		res := drivers[id](cfg)
+		res.WriteText(os.Stdout)
+		fmt.Println()
+		if !res.Passed() {
+			allPass = false
+		}
+		if *csvDir != "" {
+			if err := writeSeries(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "writing CSVs: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("completed %d experiment(s) in %v wall-clock\n", len(ids), time.Since(start).Round(time.Millisecond))
+	if !allPass {
+		fmt.Println("RESULT: some checks FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("RESULT: all checks passed")
+}
+
+func writeSeries(dir string, res *experiments.Result) error {
+	for label, s := range res.Series {
+		name := fmt.Sprintf("%s_%s.csv", strings.ToLower(res.ID), strings.ReplaceAll(label, "/", "_"))
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("   wrote %s\n", path)
+	}
+	return nil
+}

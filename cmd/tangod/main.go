@@ -1,0 +1,102 @@
+// Command tangod runs a long-lived simulated Tango deployment and streams
+// per-path statistics, like watching the paper's prototype live. Optional
+// incidents can be scheduled to watch the controller react.
+//
+// Usage:
+//
+//	tangod [-seed N] [-hours 2] [-report 5m] [-policy min-delay|min-jitter|static]
+//	       [-event none|route-shift|instability] [-event-at 1h]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tango"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "random seed")
+		hours   = flag.Float64("hours", 2, "virtual hours to run")
+		report  = flag.Duration("report", 10*time.Minute, "virtual time between status reports")
+		policy  = flag.String("policy", "min-delay", "path policy: min-delay, min-jitter, static")
+		event   = flag.String("event", "none", "incident to inject on GTT NY->LA: none, route-shift, instability")
+		eventAt = flag.Duration("event-at", time.Hour, "virtual time of the incident")
+	)
+	flag.Parse()
+
+	var pol tango.Policy
+	switch *policy {
+	case "min-delay":
+		pol = tango.PolicyMinDelay
+	case "min-jitter":
+		pol = tango.PolicyMinJitter
+	case "static":
+		pol = tango.PolicyStaticDefault
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	lab := tango.NewLab(tango.Options{Seed: *seed, PolicyNY: pol, PolicyLA: pol})
+	fmt.Println("tangod: establishing (discovery, pinned prefixes, tunnels)...")
+	if err := lab.Establish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, s := range []*tango.Site{lab.NY(), lab.LA()} {
+		s := s
+		s.OnPathSwitch(func(at time.Duration, from, to string) {
+			fmt.Printf("%9v  %s: controller switched %s -> %s\n", at.Round(time.Second), s.Name(), from, to)
+		})
+	}
+
+	switch *event {
+	case "route-shift":
+		must(lab.InjectRouteShift("GTT", tango.NYtoLA, *eventAt, 10*time.Minute, 5*time.Millisecond))
+		fmt.Printf("scheduled: GTT NY->LA +5ms internal route change at +%v for 10m\n", *eventAt)
+	case "instability":
+		must(lab.InjectInstability("GTT", tango.NYtoLA, *eventAt, 5*time.Minute, 0.05, 48*time.Millisecond))
+		fmt.Printf("scheduled: GTT NY->LA instability window at +%v for 5m\n", *eventAt)
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown event %q\n", *event)
+		os.Exit(2)
+	}
+
+	total := time.Duration(*hours * float64(time.Hour))
+	for elapsed := time.Duration(0); elapsed < total; elapsed += *report {
+		step := *report
+		if total-elapsed < step {
+			step = total - elapsed
+		}
+		lab.Run(step)
+		printStatus(lab)
+	}
+	fmt.Println("tangod: done")
+}
+
+func printStatus(lab *tango.Lab) {
+	fmt.Printf("%9v  status:\n", lab.Now().Round(time.Second))
+	for _, s := range []*tango.Site{lab.NY(), lab.LA()} {
+		fmt.Printf("           %s outgoing (measured at peer, raw clock domain):\n", s.Name())
+		for _, p := range s.Paths() {
+			mark := " "
+			if p.Current {
+				mark = "*"
+			}
+			fmt.Printf("            %s %-7s mean %9.3f ms  min %9.3f ms  jitter %7.4f ms  loss %5.3f%%  n=%d\n",
+				mark, p.Provider, p.MeanOWDMs, p.MinOWDMs, p.JitterMs, p.LossRate*100, p.Samples)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package tango_test
+
+import (
+	"fmt"
+	"time"
+
+	"tango"
+)
+
+// Example_deployAndSteer brings up the paper's deployment, lets the
+// measurement loop run, and shows the controller's choice. The run is
+// fully deterministic, so the output is stable.
+func Example_deployAndSteer() {
+	lab := tango.NewLab(tango.Options{Seed: 42})
+	if err := lab.Establish(); err != nil {
+		panic(err)
+	}
+	lab.Run(5 * time.Minute)
+
+	for _, p := range lab.NY().Paths() {
+		fmt.Printf("path %d via %s\n", p.ID, p.Provider)
+	}
+	fmt.Printf("data traffic rides %s\n", lab.NY().CurrentPath())
+	// Output:
+	// path 1 via NTT
+	// path 2 via Telia
+	// path 3 via GTT
+	// path 4 via Level3
+	// data traffic rides GTT
+}
+
+// Example_incident injects the paper's Figure 4 (middle) incident and
+// watches the controller route around it using live one-way delays.
+func Example_incident() {
+	lab := tango.NewLab(tango.Options{Seed: 7})
+	if err := lab.Establish(); err != nil {
+		panic(err)
+	}
+	lab.Run(3 * time.Minute) // settle on the best path
+
+	if err := lab.InjectRouteShift("GTT", tango.NYtoLA, time.Minute, 10*time.Minute, 5*time.Millisecond); err != nil {
+		panic(err)
+	}
+	before := lab.NY().CurrentPath()
+	lab.Run(5 * time.Minute) // into the event
+	during := lab.NY().CurrentPath()
+	lab.Run(12 * time.Minute) // event over
+	after := lab.NY().CurrentPath()
+	fmt.Printf("before: %s, during: %s, after: %s\n", before, during, after)
+	// Output:
+	// before: GTT, during: Telia, after: GTT
+}

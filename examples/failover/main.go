@@ -1,0 +1,81 @@
+// Failover shows the speed gap between data-driven and control-plane
+// recovery. The paper's architecture measures every exposed path
+// continuously; when the active path blackholes, the sender's estimates
+// go stale within seconds and the controller evacuates — no BGP
+// convergence involved (BGP, with its several-minute timers, may never
+// even notice a data-plane-only failure).
+//
+// We blackhole GTT's NY->LA trunk for two minutes while streaming
+// heartbeats, and measure the outage the application observes.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tango"
+)
+
+const (
+	hbPort   = 9300
+	hbPeriod = 10 * time.Millisecond
+)
+
+func main() {
+	lab := tango.NewLab(tango.Options{Seed: 23})
+	fmt.Println("establishing...")
+	if err := lab.Establish(); err != nil {
+		panic(err)
+	}
+	lab.NY().OnPathSwitch(func(at time.Duration, from, to string) {
+		fmt.Printf("  [%v] NY controller: %s -> %s\n", at.Round(100*time.Millisecond), from, to)
+	})
+	lab.Run(3 * time.Minute)
+	fmt.Printf("steady state: NY data traffic on %s\n", lab.NY().CurrentPath())
+
+	// Heartbeats NY->LA; record arrival gaps.
+	var lastArrival time.Duration
+	var worstGap time.Duration
+	received := 0
+	lab.LA().OnReceive(hbPort, func(d tango.Delivery) {
+		if lastArrival != 0 && d.At-lastArrival > worstGap {
+			worstGap = d.At - lastArrival
+		}
+		lastArrival = d.At
+		received++
+	})
+
+	// Blackhole the active path (100% loss) for 2 minutes, 30s from now.
+	failAt := lab.Now() + 30*time.Second
+	if err := lab.InjectLossBurst("GTT", tango.NYtoLA, 30*time.Second, 2*time.Minute, 1.0); err != nil {
+		panic(err)
+	}
+	fmt.Println("scheduled: GTT NY->LA blackhole for 2 minutes, starting in 30s")
+
+	src, dst := lab.NY().HostAddr(4), lab.LA().HostAddr(4)
+	sent := 0
+	end := lab.Now() + 5*time.Minute
+	var recoveredAt time.Duration
+	for lab.Now() < end {
+		if err := lab.NY().Send(src, dst, hbPort, hbPort, []byte("hb")); err != nil {
+			panic(err)
+		}
+		sent++
+		lab.Run(hbPeriod)
+		if recoveredAt == 0 && lab.Now() > failAt && lastArrival > failAt {
+			recoveredAt = lastArrival
+		}
+	}
+
+	fmt.Printf("\nheartbeats: sent %d, received %d (%.2f%% lost)\n",
+		sent, received, 100*float64(sent-received)/float64(sent))
+	fmt.Printf("worst application outage: %v\n", worstGap.Round(10*time.Millisecond))
+	fmt.Printf("recovery: controller abandoned the dead path once its estimate went\n")
+	fmt.Printf("stale (~10 s policy staleness + decision cadence); BGP never saw the\n")
+	fmt.Printf("failure at all — the prefix stayed advertised the whole time.\n")
+	if lab.NY().CurrentPath() == "GTT" {
+		fmt.Println("and after the blackhole lifted, traffic returned to GTT.")
+	}
+}

@@ -1,0 +1,107 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/sim"
+)
+
+// TestDecisionMED: with equal local-pref, path length, and origin, the
+// lower MED wins.
+func TestDecisionMED(t *testing.T) {
+	eng := sim.NewEngine()
+	col := NewSpeaker(eng, "col", 10, 1)
+	p1 := NewSpeaker(eng, "p1", 11, 2)
+	p2 := NewSpeaker(eng, "p2", 12, 3)
+	cA, cB := pairCfg(RelCustomer, "2001:db8:10::1", "2001:db8:10::2")
+	// p1 exports with MED 50, p2 with MED 10.
+	cB.Export = func(r *Route) *Route { r.MED = 50; return r }
+	s1, _ := Connect(col, p1, cA, cB)
+	cA, cB = pairCfg(RelCustomer, "2001:db8:11::1", "2001:db8:11::2")
+	cB.Export = func(r *Route) *Route { r.MED = 10; return r }
+	Connect(col, p2, cA, cB)
+	_ = s1
+
+	pfx := addr.MustParsePrefix("2001:db8:1::/48")
+	p1.Originate(pfx)
+	p2.Originate(pfx)
+	eng.Run(30 * time.Second)
+
+	best := col.Best(pfx)
+	if best == nil {
+		t.Fatal("no route")
+	}
+	if best.MED != 10 || best.Path[0] != 12 {
+		t.Fatalf("best = %v (MED %d), want via 12 with MED 10", best.Path, best.MED)
+	}
+}
+
+// TestDecisionOrigin: lower origin wins at equal local-pref/length.
+func TestDecisionOrigin(t *testing.T) {
+	a := &Route{LocalPref: 100, Path: Path{1}, Origin: OriginIGP}
+	b := &Route{LocalPref: 100, Path: Path{2}, Origin: OriginIncomplete}
+	if !better(a, b) || better(b, a) {
+		t.Fatal("origin comparison wrong")
+	}
+}
+
+// TestDecisionStability: pickBest keeps the current best on exact ties
+// (no churn from re-running the decision process).
+func TestDecisionStability(t *testing.T) {
+	a := &Route{LocalPref: 100, Path: Path{1}}
+	b := &Route{LocalPref: 100, Path: Path{2}}
+	// Identical on every criterion (both local, routerID 0): neither is
+	// strictly better.
+	if better(a, b) || better(b, a) {
+		t.Fatal("tie should not prefer either")
+	}
+	if pickBest([]*Route{a, b}) != a {
+		t.Fatal("pickBest should keep the first (stable)")
+	}
+}
+
+func TestWithdrawNonOriginatedIsNoop(t *testing.T) {
+	eng := sim.NewEngine()
+	sp := NewSpeaker(eng, "x", 1, 1)
+	sp.Withdraw(addr.MustParsePrefix("2001:db8::/48")) // must not panic
+	if _, ok := sp.Originated(addr.MustParsePrefix("2001:db8::/48")); ok {
+		t.Fatal("phantom origination")
+	}
+	sp.Originate(addr.MustParsePrefix("2001:db8::/48"))
+	if _, ok := sp.Originated(addr.MustParsePrefix("2001:db8::/48")); !ok {
+		t.Fatal("Originated accessor broken")
+	}
+	if len(sp.BestPrefixes()) != 1 {
+		t.Fatalf("BestPrefixes = %v", sp.BestPrefixes())
+	}
+}
+
+// TestMultiPrefixUpdate: several prefixes in one UPDATE install
+// independently and withdraw independently.
+func TestMultiPrefixUpdate(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewSpeaker(eng, "a", 100, 1)
+	b := NewSpeaker(eng, "b", 200, 2)
+	cA, cB := pairCfg(RelProvider, "2001:db8:10::1", "2001:db8:10::2")
+	Connect(a, b, cA, cB)
+	eng.Run(time.Second)
+
+	u := &Update{
+		Announced: prefixes("2001:db8:1::/48", "2001:db8:2::/48", "2001:db8:3::/48"),
+		Attrs:     Attrs{Path: Path{100}, NextHop: v6("2001:db8:10::1")},
+	}
+	bs := b.sessions[0]
+	b.handleUpdate(bs, u)
+	if len(b.BestPrefixes()) != 3 {
+		t.Fatalf("installed %d prefixes", len(b.BestPrefixes()))
+	}
+	b.handleUpdate(bs, &Update{Withdrawn: prefixes("2001:db8:2::/48")})
+	if len(b.BestPrefixes()) != 2 {
+		t.Fatalf("withdraw left %d prefixes", len(b.BestPrefixes()))
+	}
+	if b.Best(addr.MustParsePrefix("2001:db8:2::/48")) != nil {
+		t.Fatal("withdrawn prefix still best")
+	}
+}

@@ -1,0 +1,73 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"tango/internal/addr"
+)
+
+func prefixes(ss ...string) []addr.Prefix {
+	out := make([]addr.Prefix, len(ss))
+	for i, s := range ss {
+		out[i] = addr.MustParsePrefix(s)
+	}
+	return out
+}
+
+// BGP messages arrive from other administrative domains: the decoder must
+// reject malformed input with an error, never panic.
+func TestDecodeMessageNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.Fatalf("DecodeMessage panicked: %v", rec)
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		n := r.Intn(100)
+		data := make([]byte, n)
+		r.Read(data)
+		_, _, _ = DecodeMessage(data)
+	}
+}
+
+// Mutating valid messages must also be safe (decode error or consistent
+// result, never a panic).
+func TestDecodeMutatedMessagesNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+
+	// Build a realistic update to mutate.
+	u := &Update{
+		Announced: prefixes("2001:db8:1::/48", "2001:db8:2::/48"),
+		Withdrawn: prefixes("2001:db8:3::/48"),
+		Attrs: Attrs{
+			Path:        Path{1, 2, 3},
+			NextHop:     v6("2001:db8::1"),
+			MED:         5,
+			HasMED:      true,
+			Communities: []Community{NoExportTo(ASNTT)},
+		},
+	}
+	valid, err := EncodeMessage(&Message{Update: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.Fatalf("mutated decode panicked: %v", rec)
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		m := append([]byte{}, valid...)
+		// 1-3 random byte mutations.
+		for j := 0; j < 1+r.Intn(3); j++ {
+			m[r.Intn(len(m))] = byte(r.Intn(256))
+		}
+		// Random truncation half the time.
+		if r.Intn(2) == 0 {
+			m = m[:r.Intn(len(m)+1)]
+		}
+		_, _, _ = DecodeMessage(m)
+	}
+}

@@ -1,0 +1,421 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/sim"
+)
+
+// Relation is the business relationship of a session's remote peer, from
+// the local speaker's point of view. It drives Gao-Rexford export rules
+// and default local preference.
+type Relation int
+
+// Relations.
+const (
+	RelCustomer Relation = iota // the peer pays us
+	RelPeer                     // settlement-free peer
+	RelProvider                 // we pay the peer
+)
+
+func (r Relation) String() string {
+	switch r {
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	case RelProvider:
+		return "provider"
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// State is a (simplified) BGP FSM state.
+type State int
+
+// States.
+const (
+	StateIdle State = iota
+	StateOpenSent
+	StateEstablished
+	StateDown // administratively or hold-timer down
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateEstablished:
+		return "Established"
+	case StateDown:
+		return "Down"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// SessionConfig parameterizes one side of an eBGP session.
+type SessionConfig struct {
+	// Relation of the remote peer as seen from this side.
+	Relation Relation
+	// LocalAddr is this side's session endpoint; it becomes the NEXT_HOP
+	// on routes exported here.
+	LocalAddr netip.Addr
+	// Delay is the one-way message propagation delay to the peer.
+	Delay time.Duration
+	// MRAI is the minimum route advertisement interval: successive
+	// UPDATE bursts to the peer are spaced at least this far apart.
+	// Zero means no pacing.
+	MRAI time.Duration
+	// HoldTime, when positive, enables keepalives (sent every
+	// HoldTime/3) and tears the session down if nothing is heard for a
+	// full HoldTime.
+	HoldTime time.Duration
+	// AllowOwnAS disables loop rejection of routes whose AS path
+	// contains the local ASN ("allowas-in"). The Vultr scenario needs it
+	// at each DC's border: both POPs announce from AS 20473, and each
+	// hears the other's prefixes through the public core with 20473
+	// already in the path — exactly as in the paper's deployment.
+	AllowOwnAS bool
+	// StripPrivateASNs removes RFC 6996 private ASNs from the AS path
+	// when exporting to this peer, as Vultr does when propagating
+	// customer announcements made from a private ASN.
+	StripPrivateASNs bool
+	// ScrubActionCommunities removes this speaker's action communities
+	// (64600-64603 namespaces) after applying them, so internal knobs
+	// do not leak beyond the provider applying them.
+	ScrubActionCommunities bool
+	// Import, when non-nil, runs after the standard import pipeline;
+	// returning nil rejects the route. It receives a private clone and
+	// may modify it.
+	Import func(*Route) *Route
+	// Export, when non-nil, runs before the standard export transform;
+	// returning nil suppresses the export. It receives a private clone
+	// and may modify it.
+	Export func(*Route) *Route
+}
+
+// Session is one side of an established eBGP session. Messages to the
+// peer are serialized to wire format and delivered after the configured
+// delay, so everything a speaker learns arrives through the real codec.
+type Session struct {
+	speaker *Speaker
+	peer    *Session
+	cfg     SessionConfig
+	state   State
+
+	adjIn  map[addr.Prefix]*Route
+	adjOut map[addr.Prefix]*Route
+
+	// MRAI pacing state.
+	pending   map[addr.Prefix]bool
+	mraiArmed bool
+	lastFlush sim.Time
+	neverSent bool
+	// Liveness.
+	lastHeard      sim.Time
+	keepaliveTimer *sim.Ticker
+	holdEvent      *sim.Event
+	// Fault injection: when true, all messages in both directions are
+	// silently dropped (link cut), eventually expiring the hold timer.
+	blackholed bool
+
+	Stats struct {
+		MsgsSent, MsgsRcvd       uint64
+		UpdatesSent, UpdatesRcvd uint64
+		RoutesRejected           uint64
+	}
+}
+
+// Speaker returns the owning speaker.
+func (s *Session) Speaker() *Speaker { return s.speaker }
+
+// Peer returns the remote speaker.
+func (s *Session) Peer() *Speaker { return s.peer.speaker }
+
+// PeerAS returns the remote speaker's ASN.
+func (s *Session) PeerAS() ASN { return s.peer.speaker.AS }
+
+// Relation returns the configured relation of the peer.
+func (s *Session) Relation() Relation { return s.cfg.Relation }
+
+// State returns the FSM state.
+func (s *Session) State() State { return s.state }
+
+// LocalAddr returns this side's session endpoint address.
+func (s *Session) LocalAddr() netip.Addr { return s.cfg.LocalAddr }
+
+// PeerAddr returns the remote side's session endpoint address.
+func (s *Session) PeerAddr() netip.Addr { return s.peer.cfg.LocalAddr }
+
+// AdjIn returns the route learned from the peer for p, if any.
+func (s *Session) AdjIn(p addr.Prefix) (*Route, bool) {
+	r, ok := s.adjIn[p]
+	return r, ok
+}
+
+// AdjInLen returns the number of routes learned from the peer.
+func (s *Session) AdjInLen() int { return len(s.adjIn) }
+
+// AdjOut returns the route currently advertised to the peer for p.
+func (s *Session) AdjOut(p addr.Prefix) (*Route, bool) {
+	r, ok := s.adjOut[p]
+	return r, ok
+}
+
+// SetBlackholed cuts (or restores) the session's transport in both
+// directions. With a HoldTime configured, both sides eventually expire
+// and flush routes learned from each other.
+func (s *Session) SetBlackholed(v bool) {
+	s.blackholed = v
+	s.peer.blackholed = v
+}
+
+func (s *Session) String() string {
+	return fmt.Sprintf("%s->%s(%s)", s.speaker.Name, s.peer.speaker.Name, s.cfg.Relation)
+}
+
+// Connect wires two speakers together with an eBGP session and starts the
+// handshake. cfgA describes the session from a's side (so cfgA.Relation
+// is what b is to a), cfgB from b's side. The relations must be
+// consistent (customer on one side implies provider on the other).
+func Connect(a, b *Speaker, cfgA, cfgB SessionConfig) (*Session, *Session) {
+	if a.eng != b.eng {
+		panic("bgp: Connect across engines")
+	}
+	if (cfgA.Relation == RelCustomer) != (cfgB.Relation == RelProvider) ||
+		(cfgA.Relation == RelProvider) != (cfgB.Relation == RelCustomer) {
+		panic(fmt.Sprintf("bgp: inconsistent relations %v/%v between %s and %s",
+			cfgA.Relation, cfgB.Relation, a.Name, b.Name))
+	}
+	sa := newSession(a, cfgA)
+	sb := newSession(b, cfgB)
+	sa.peer, sb.peer = sb, sa
+	a.sessions = append(a.sessions, sa)
+	b.sessions = append(b.sessions, sb)
+	sa.startHandshake()
+	sb.startHandshake()
+	return sa, sb
+}
+
+func newSession(sp *Speaker, cfg SessionConfig) *Session {
+	return &Session{
+		speaker:   sp,
+		cfg:       cfg,
+		state:     StateIdle,
+		adjIn:     make(map[addr.Prefix]*Route),
+		adjOut:    make(map[addr.Prefix]*Route),
+		pending:   make(map[addr.Prefix]bool),
+		neverSent: true,
+	}
+}
+
+func (s *Session) startHandshake() {
+	s.state = StateOpenSent
+	hold := uint16(s.cfg.HoldTime / time.Second)
+	s.sendMsg(&Message{Open: &Open{Version: 4, AS: s.speaker.AS, HoldTime: hold, RouterID: s.speaker.RouterID}})
+}
+
+// sendMsg serializes and schedules delivery to the peer.
+func (s *Session) sendMsg(m *Message) {
+	if s.blackholed || s.state == StateDown {
+		return
+	}
+	raw, err := EncodeMessage(m)
+	if err != nil {
+		panic(fmt.Sprintf("bgp: encoding on %v: %v", s, err))
+	}
+	s.Stats.MsgsSent++
+	if m.Update != nil {
+		s.Stats.UpdatesSent++
+	}
+	peer := s.peer
+	s.speaker.eng.Schedule(s.cfg.Delay, func() {
+		if peer.blackholed || peer.state == StateDown {
+			return
+		}
+		peer.recvBytes(raw)
+	})
+}
+
+func (s *Session) recvBytes(raw []byte) {
+	m, _, err := DecodeMessage(raw)
+	if err != nil {
+		panic(fmt.Sprintf("bgp: decoding on %v: %v", s, err))
+	}
+	s.Stats.MsgsRcvd++
+	s.lastHeard = s.speaker.eng.Now()
+	s.rearmHold()
+	switch {
+	case m.Open != nil:
+		s.handleOpen(m.Open)
+	case m.Update != nil:
+		s.Stats.UpdatesRcvd++
+		s.speaker.handleUpdate(s, m.Update)
+	case m.Notification != nil:
+		s.goDown()
+	case m.Keepalive:
+		if s.state == StateOpenSent {
+			s.establish()
+		}
+	}
+}
+
+func (s *Session) handleOpen(o *Open) {
+	if o.AS != s.peer.speaker.AS {
+		s.sendMsg(&Message{Notification: &Notification{Code: 2, Subcode: 2}})
+		s.goDown()
+		return
+	}
+	s.sendMsg(&Message{Keepalive: true})
+	if s.state == StateOpenSent {
+		// Wait for the peer's KEEPALIVE confirming our OPEN.
+	}
+}
+
+func (s *Session) establish() {
+	if s.state == StateEstablished {
+		return
+	}
+	s.state = StateEstablished
+	if s.cfg.HoldTime > 0 {
+		interval := s.cfg.HoldTime / 3
+		s.keepaliveTimer = sim.NewTicker(s.speaker.eng, interval, func(sim.Time) {
+			s.sendMsg(&Message{Keepalive: true})
+		})
+		s.rearmHold()
+	}
+	// Initial table exchange: advertise everything eligible.
+	s.speaker.scheduleFullExport(s)
+}
+
+func (s *Session) rearmHold() {
+	if s.cfg.HoldTime <= 0 || s.state == StateDown {
+		return
+	}
+	if s.holdEvent != nil {
+		s.speaker.eng.Cancel(s.holdEvent)
+	}
+	s.holdEvent = s.speaker.eng.Schedule(s.cfg.HoldTime, func() {
+		s.goDown()
+	})
+}
+
+// goDown tears the session down locally: routes learned here are flushed
+// and best-path selection re-runs.
+func (s *Session) goDown() {
+	if s.state == StateDown {
+		return
+	}
+	s.state = StateDown
+	if s.keepaliveTimer != nil {
+		s.keepaliveTimer.Stop()
+	}
+	if s.holdEvent != nil {
+		s.speaker.eng.Cancel(s.holdEvent)
+		s.holdEvent = nil
+	}
+	affected := make([]addr.Prefix, 0, len(s.adjIn))
+	for p := range s.adjIn {
+		affected = append(affected, p)
+	}
+	s.adjIn = make(map[addr.Prefix]*Route)
+	s.adjOut = make(map[addr.Prefix]*Route)
+	s.pending = make(map[addr.Prefix]bool)
+	for _, p := range affected {
+		s.speaker.reselect(p)
+	}
+}
+
+// queue marks a prefix as needing (re)advertisement to this peer and
+// arms the MRAI flush.
+func (s *Session) queue(p addr.Prefix) {
+	if s.state != StateEstablished {
+		return
+	}
+	s.pending[p] = true
+	if s.mraiArmed {
+		return
+	}
+	now := s.speaker.eng.Now()
+	wait := time.Duration(0)
+	if s.cfg.MRAI > 0 && !s.neverSent {
+		if next := s.lastFlush + s.cfg.MRAI; next > now {
+			wait = next - now
+		}
+	}
+	s.mraiArmed = true
+	s.speaker.eng.Schedule(wait, s.flush)
+}
+
+// flush advertises all pending changes in (at most) two UPDATE messages
+// per distinct attribute set — one per prefix keeps the codec simple and
+// matters nothing for correctness.
+func (s *Session) flush() {
+	s.mraiArmed = false
+	if s.state != StateEstablished {
+		return
+	}
+	s.lastFlush = s.speaker.eng.Now()
+	s.neverSent = false
+	prefixes := make([]addr.Prefix, 0, len(s.pending))
+	for p := range s.pending {
+		prefixes = append(prefixes, p)
+	}
+	s.pending = make(map[addr.Prefix]bool)
+	for _, p := range prefixes {
+		s.advertise(p)
+	}
+}
+
+// advertise computes the export route for p and sends an UPDATE if it
+// differs from what the peer last heard.
+func (s *Session) advertise(p addr.Prefix) {
+	best := s.speaker.locRIB[p]
+	export := s.speaker.exportRoute(s, best)
+	prev, had := s.adjOut[p]
+	if export == nil {
+		if !had {
+			return
+		}
+		delete(s.adjOut, p)
+		s.sendMsg(&Message{Update: &Update{Withdrawn: []addr.Prefix{p}}})
+		return
+	}
+	if had && sameExport(prev, export) {
+		return
+	}
+	s.adjOut[p] = export
+	u := &Update{
+		Announced: []addr.Prefix{p},
+		Attrs: Attrs{
+			Origin:      export.Origin,
+			Path:        export.Path,
+			NextHop:     export.NextHop,
+			MED:         export.MED,
+			HasMED:      export.MED != 0,
+			Communities: export.Communities,
+		},
+	}
+	s.sendMsg(&Message{Update: u})
+}
+
+func sameExport(a, b *Route) bool {
+	if !a.Path.Equal(b.Path) || a.NextHop != b.NextHop || a.Origin != b.Origin || a.MED != b.MED {
+		return false
+	}
+	ac, bc := a.SortedCommunities(), b.SortedCommunities()
+	if len(ac) != len(bc) {
+		return false
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,273 @@
+package control
+
+import (
+	"time"
+
+	"tango/internal/dataplane"
+	"tango/internal/packet"
+	"tango/internal/sim"
+)
+
+// PathEstimate is the sender-side view of one outgoing path, built from
+// the receiver's piggybacked reports.
+type PathEstimate struct {
+	ID        uint8
+	OWDMs     float64 // receiver clock domain; comparable across paths
+	JitterMs  float64
+	Samples   uint16
+	UpdatedAt sim.Time
+	Valid     bool
+}
+
+// Policy decides which path carries data traffic.
+type Policy interface {
+	// Choose returns the path ID to use. cur is the current choice;
+	// ests contains one entry per known path (Valid=false before the
+	// first report).
+	Choose(now sim.Time, cur uint8, ests []PathEstimate) uint8
+}
+
+// MinOWD switches to the lowest-delay path, damped by an absolute
+// hysteresis margin and a minimum dwell time so measurement noise does
+// not flap traffic between near-equal paths.
+//
+// The margin is absolute (milliseconds), not relative: reported one-way
+// delays live in the receiver's clock domain and are shifted by the
+// constant inter-switch clock offset, which can dwarf the real values. A
+// percentage of such a number is meaningless, but differences — and
+// therefore absolute margins — are exact. (This is a sharp edge of the
+// paper's "relative comparisons are sound" argument: the comparison is
+// sound, but any policy arithmetic must be translation-invariant.)
+type MinOWD struct {
+	// HysteresisMs is the absolute improvement (in milliseconds)
+	// required to switch away from the current path.
+	HysteresisMs float64
+	// MinDwell is the minimum time between switches.
+	MinDwell time.Duration
+	// StaleAfter treats estimates older than this as invalid (path
+	// possibly dead); 0 disables.
+	StaleAfter time.Duration
+
+	lastSwitch sim.Time
+	haveCur    bool
+}
+
+// Choose implements Policy.
+func (p *MinOWD) Choose(now sim.Time, cur uint8, ests []PathEstimate) uint8 {
+	best := -1
+	var bestOWD float64
+	var curEst *PathEstimate
+	for i := range ests {
+		e := &ests[i]
+		if !e.Valid {
+			continue
+		}
+		if p.StaleAfter > 0 && now-e.UpdatedAt > p.StaleAfter {
+			continue
+		}
+		if e.ID == cur {
+			curEst = e
+		}
+		if best < 0 || e.OWDMs < bestOWD {
+			best = i
+			bestOWD = e.OWDMs
+		}
+	}
+	if best < 0 {
+		return cur
+	}
+	cand := ests[best].ID
+	if cand == cur {
+		p.haveCur = true
+		return cur
+	}
+	if curEst == nil {
+		// Current path unknown or stale: move immediately.
+		p.lastSwitch = now
+		p.haveCur = true
+		return cand
+	}
+	if p.haveCur && now-p.lastSwitch < p.MinDwell {
+		return cur
+	}
+	if bestOWD <= curEst.OWDMs-p.HysteresisMs {
+		p.lastSwitch = now
+		p.haveCur = true
+		return cand
+	}
+	return cur
+}
+
+// MinJitter prefers the path with the lowest reported jitter, breaking
+// ties by delay — for interactive applications where variance hurts more
+// than the mean (paper §5: "depending on the application, delay and
+// jitter could have a significant impact").
+type MinJitter struct {
+	// MaxOWDPenaltyMs bounds how much extra delay is acceptable to buy
+	// lower jitter; a calmer path more than this much slower than the
+	// fastest is not chosen.
+	MaxOWDPenaltyMs float64
+}
+
+// Choose implements Policy.
+func (p *MinJitter) Choose(now sim.Time, cur uint8, ests []PathEstimate) uint8 {
+	fastest := -1
+	for i := range ests {
+		if !ests[i].Valid {
+			continue
+		}
+		if fastest < 0 || ests[i].OWDMs < ests[fastest].OWDMs {
+			fastest = i
+		}
+	}
+	if fastest < 0 {
+		return cur
+	}
+	best := fastest
+	for i := range ests {
+		e := &ests[i]
+		if !e.Valid {
+			continue
+		}
+		if p.MaxOWDPenaltyMs > 0 && e.OWDMs > ests[fastest].OWDMs+p.MaxOWDPenaltyMs {
+			continue
+		}
+		if e.JitterMs < ests[best].JitterMs {
+			best = i
+		}
+	}
+	return ests[best].ID
+}
+
+// Static always uses one path — the "BGP default" baseline when pointed
+// at the default path's tunnel.
+type Static struct{ ID uint8 }
+
+// Choose implements Policy.
+func (p *Static) Choose(sim.Time, uint8, []PathEstimate) uint8 { return p.ID }
+
+// Controller is the sender-side decision loop: it keeps per-path
+// estimates fresh from the receiver's piggybacked reports and re-runs the
+// policy on a fixed cadence, installing its choice as the switch's
+// selector.
+type Controller struct {
+	sw     *dataplane.Switch
+	policy Policy
+	eng    *sim.Engine
+
+	ests    map[uint8]*PathEstimate
+	current uint8
+	haveCur bool
+	tick    *sim.Ticker
+
+	// OnSwitch fires when the controller moves traffic between paths.
+	OnSwitch func(at sim.Time, from, to uint8)
+
+	Stats struct {
+		Decisions uint64
+		Switches  uint64
+		Reports   uint64
+	}
+}
+
+// NewController creates a controller for sw (the local switch whose
+// outgoing traffic is being steered).
+func NewController(eng *sim.Engine, sw *dataplane.Switch, policy Policy) *Controller {
+	c := &Controller{sw: sw, policy: policy, eng: eng, ests: make(map[uint8]*PathEstimate)}
+	// Until the first decision, traffic uses the first tunnel (the BGP
+	// default path by construction).
+	sw.SetSelector(func([]byte) *dataplane.Tunnel {
+		return c.currentTunnel()
+	})
+	return c
+}
+
+func (c *Controller) currentTunnel() *dataplane.Tunnel {
+	if c.haveCur {
+		if t, ok := c.sw.Tunnel(c.current); ok {
+			return t
+		}
+	}
+	ts := c.sw.Tunnels()
+	if len(ts) == 0 {
+		return nil
+	}
+	return ts[0]
+}
+
+// Current returns the path ID currently carrying data traffic.
+func (c *Controller) Current() uint8 {
+	if t := c.currentTunnel(); t != nil {
+		return t.PathID
+	}
+	return 0
+}
+
+// AttachFeedback consumes piggybacked reports arriving on the local
+// switch (i.e. measurements of this controller's outgoing paths made by
+// the peer).
+func (c *Controller) AttachFeedback(local *dataplane.Switch) {
+	local.OnReport = func(r packet.OWDReport) {
+		c.UpdateEstimate(r.PathID,
+			float64(r.MeanOWDNano)/float64(time.Millisecond),
+			float64(r.JitterNano)/float64(time.Millisecond),
+			r.SampleCount)
+	}
+}
+
+// UpdateEstimate folds in an estimate for a path (jitterMs may be 0 when
+// the report format does not carry it).
+func (c *Controller) UpdateEstimate(id uint8, owdMs, jitterMs float64, samples uint16) {
+	e, ok := c.ests[id]
+	if !ok {
+		e = &PathEstimate{ID: id}
+		c.ests[id] = e
+	}
+	e.OWDMs = owdMs
+	if jitterMs > 0 {
+		e.JitterMs = jitterMs
+	}
+	e.Samples = samples
+	e.UpdatedAt = c.eng.Now()
+	e.Valid = true
+	c.Stats.Reports++
+}
+
+// Start begins the decision loop with the given cadence.
+func (c *Controller) Start(every time.Duration) {
+	if c.tick != nil {
+		c.tick.Stop()
+	}
+	c.tick = sim.NewTicker(c.eng, every, func(now sim.Time) { c.decide(now) })
+}
+
+// Stop halts the decision loop.
+func (c *Controller) Stop() {
+	if c.tick != nil {
+		c.tick.Stop()
+	}
+}
+
+func (c *Controller) decide(now sim.Time) {
+	c.Stats.Decisions++
+	ests := make([]PathEstimate, 0, len(c.ests))
+	for _, e := range c.ests {
+		ests = append(ests, *e)
+	}
+	cur := c.Current()
+	next := c.policy.Choose(now, cur, ests)
+	if _, ok := c.sw.Tunnel(next); !ok {
+		return
+	}
+	if !c.haveCur || next != c.current {
+		from := cur
+		c.current = next
+		c.haveCur = true
+		if next != from {
+			c.Stats.Switches++
+			if c.OnSwitch != nil {
+				c.OnSwitch(now, from, next)
+			}
+		}
+	}
+}

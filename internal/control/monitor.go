@@ -1,0 +1,198 @@
+package control
+
+import (
+	"time"
+
+	"tango/internal/dataplane"
+	"tango/internal/measure"
+	"tango/internal/packet"
+	"tango/internal/sim"
+)
+
+// PathMonitor accumulates receiver-side statistics for one incoming
+// wide-area path. All delay values are in the receiver's clock domain
+// (true OWD plus the constant inter-switch clock offset).
+type PathMonitor struct {
+	ID   uint8
+	Name string
+
+	// OWD aggregates every raw sample.
+	OWD measure.Welford
+	// Est is the smoothed current-delay estimate reported to the peer.
+	Est *measure.EWMA
+	// Jitter is the paper's 1-second rolling-window metric.
+	Jitter *measure.RollingStd
+	// JitEst is a smoothed RFC 3550-style delay-variation estimate
+	// (EWMA of |successive OWD differences|), used for live reports:
+	// unlike the trace-long Jitter metric it tracks current conditions.
+	JitEst *measure.EWMA
+	// Seq tracks loss/reordering from tunnel sequence numbers.
+	Seq measure.SeqTracker
+	// Series, when non-nil, records the time series for figures.
+	Series *measure.Series
+
+	LastAt  sim.Time
+	LastOWD time.Duration
+}
+
+// Monitor is the receiver-side measurement engine: it consumes the
+// data-plane's per-packet observations and maintains per-path state.
+type Monitor struct {
+	paths map[uint8]*PathMonitor
+	// RecordBucket, when positive, attaches a Series with this bucket
+	// to every path created afterwards.
+	RecordBucket time.Duration
+	// EWMAAlpha configures the smoothed estimator (default 0.05).
+	EWMAAlpha float64
+	// JitterWindow configures the rolling-std window (default 1 s).
+	JitterWindow time.Duration
+	// OnSample, when set, fires after each sample is folded in.
+	OnSample func(*PathMonitor, dataplane.Measurement)
+
+	Samples uint64
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{paths: make(map[uint8]*PathMonitor)}
+}
+
+// Attach subscribes the monitor to a switch's measurements. nameFor
+// labels path IDs (may be nil).
+func (m *Monitor) Attach(sw *dataplane.Switch, nameFor func(uint8) string) {
+	sw.OnMeasure = func(meas dataplane.Measurement) {
+		m.Ingest(meas, nameFor)
+	}
+}
+
+// Ingest folds one measurement into the per-path state.
+func (m *Monitor) Ingest(meas dataplane.Measurement, nameFor func(uint8) string) {
+	pm, ok := m.paths[meas.PathID]
+	if !ok {
+		name := ""
+		if nameFor != nil {
+			name = nameFor(meas.PathID)
+		}
+		pm = m.newPath(meas.PathID, name)
+	}
+	m.Samples++
+	owdMs := float64(meas.OWD) / float64(time.Millisecond)
+	pm.OWD.Add(owdMs)
+	if pm.OWD.N() > 1 {
+		d := owdMs - float64(pm.LastOWD)/float64(time.Millisecond)
+		if d < 0 {
+			d = -d
+		}
+		pm.JitEst.Add(d)
+	}
+	pm.Est.Add(owdMs)
+	pm.Jitter.Add(time.Duration(meas.At), owdMs)
+	pm.Seq.Add(meas.Seq)
+	if pm.Series != nil {
+		pm.Series.Add(time.Duration(meas.At), owdMs)
+	}
+	pm.LastAt = meas.At
+	pm.LastOWD = meas.OWD
+	if m.OnSample != nil {
+		m.OnSample(pm, meas)
+	}
+}
+
+func (m *Monitor) newPath(id uint8, name string) *PathMonitor {
+	alpha := m.EWMAAlpha
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	win := m.JitterWindow
+	if win == 0 {
+		win = time.Second
+	}
+	pm := &PathMonitor{
+		ID:     id,
+		Name:   name,
+		Est:    measure.NewEWMA(alpha),
+		JitEst: measure.NewEWMA(alpha),
+		Jitter: measure.NewRollingStd(win),
+	}
+	if m.RecordBucket > 0 {
+		pm.Series = measure.NewSeries(name, m.RecordBucket)
+	}
+	m.paths[id] = pm
+	return pm
+}
+
+// Path returns the state for a path ID, or nil.
+func (m *Monitor) Path(id uint8) *PathMonitor { return m.paths[id] }
+
+// Paths returns all monitored paths in ID order.
+func (m *Monitor) Paths() []*PathMonitor {
+	var max uint8
+	for id := range m.paths {
+		if id > max {
+			max = id
+		}
+	}
+	out := make([]*PathMonitor, 0, len(m.paths))
+	for id := uint8(0); ; id++ {
+		if pm, ok := m.paths[id]; ok {
+			out = append(out, pm)
+		}
+		if id == max {
+			break
+		}
+	}
+	return out
+}
+
+// Reporter periodically piggybacks the monitor's per-path estimates onto
+// data traffic flowing back to the peer (round-robin over paths), closing
+// the measurement loop without any probe or control channel: the switch's
+// next outbound packet carries the report in its Tango header.
+type Reporter struct {
+	mon  *Monitor
+	back *dataplane.Switch
+	eng  *sim.Engine
+	tick *sim.Ticker
+	next int
+	Sent uint64
+	// MaxAge suppresses reports for paths with no packet received for
+	// this long — a dead path must go stale at the peer's controller
+	// rather than be refreshed with a frozen estimate. 0 disables.
+	MaxAge time.Duration
+}
+
+// NewReporter starts reporting every interval on the engine driving back.
+func NewReporter(eng *sim.Engine, mon *Monitor, back *dataplane.Switch, interval time.Duration) *Reporter {
+	r := &Reporter{mon: mon, back: back, eng: eng}
+	r.tick = sim.NewTicker(eng, interval, func(sim.Time) { r.emit() })
+	return r
+}
+
+func (r *Reporter) emit() {
+	paths := r.mon.Paths()
+	if len(paths) == 0 {
+		return
+	}
+	pm := paths[r.next%len(paths)]
+	r.next++
+	if !pm.Est.Valid() {
+		return
+	}
+	if r.MaxAge > 0 && r.eng.Now()-pm.LastAt > r.MaxAge {
+		return
+	}
+	n := pm.OWD.N()
+	if n > 0xffff {
+		n = 0xffff
+	}
+	r.back.QueueReport(packet.OWDReport{
+		PathID:      pm.ID,
+		SampleCount: uint16(n),
+		MeanOWDNano: int64(pm.Est.Value() * float64(time.Millisecond)),
+		JitterNano:  int64(pm.JitEst.Value() * float64(time.Millisecond)),
+	})
+	r.Sent++
+}
+
+// Stop halts reporting.
+func (r *Reporter) Stop() { r.tick.Stop() }

@@ -1,0 +1,342 @@
+// Package core assembles a complete Tango deployment from the substrates:
+// it runs the §4.1 discovery loop in both directions, originates one
+// pinned prefix per exposed path (prefixes-as-routes), provisions the
+// tunnels, and wires the measurement loop — receiver-side monitor,
+// piggybacked reports, sender-side controller — for each direction.
+//
+// The result is the system of Figure 2: two border switches that between
+// them see every exposed wide-area path, measure each path's one-way
+// delay continuously, and steer traffic per packet.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/bgp"
+	"tango/internal/control"
+	"tango/internal/dataplane"
+	"tango/internal/sim"
+	"tango/internal/topo"
+	"tango/internal/workload"
+)
+
+// SiteSpec describes one cooperating edge network.
+type SiteSpec struct {
+	// Name labels the site ("ny", "la").
+	Name string
+	// Edge is the site's server: BGP speaker plus forwarding node.
+	Edge *topo.AS
+	// POPAS is the provider-facing AS in front of the site (the Vultr
+	// POP), used by discovery to identify the delivering provider.
+	POPAS bgp.ASN
+	// Block is institutional prefix space subnetted into one /48 per
+	// exposed path (the paper announces four /48s per server).
+	Block addr.Prefix
+	// HostPrefix addresses the site's end hosts; it is announced over
+	// plain BGP for non-Tango reachability.
+	HostPrefix addr.Prefix
+	// ProbePrefix is used during discovery and withdrawn afterwards.
+	ProbePrefix addr.Prefix
+}
+
+// PairConfig configures Establish.
+type PairConfig struct {
+	A, B SiteSpec
+	// RoundWait is the discovery per-round convergence wait (default
+	// 2 min virtual).
+	RoundWait time.Duration
+	// SettleWait is the wait after originating pinned prefixes
+	// (default 3 min virtual).
+	SettleWait time.Duration
+	// ProbeInterval enables per-path probing at this interval when
+	// positive (the paper uses 10 ms).
+	ProbeInterval time.Duration
+	// ReportInterval paces piggybacked measurement reports (default
+	// 100 ms when probing is enabled).
+	ReportInterval time.Duration
+	// DecideEvery starts each site's controller at this cadence when
+	// positive.
+	DecideEvery time.Duration
+	// PolicyA/PolicyB are the path-selection policies (default MinOWD
+	// with a 0.5 ms absolute margin and 2 s dwell).
+	PolicyA, PolicyB control.Policy
+	// NameFor labels provider ASNs (default topo's provider names).
+	NameFor func(bgp.ASN) string
+	// RecordBucket, when positive, records per-path OWD series at this
+	// aggregation (for figures).
+	RecordBucket time.Duration
+	// AuthKey, when non-empty, enables authenticated telemetry on both
+	// switches: Tango datagrams are signed and unverified ones dropped
+	// (paper §6, trustworthy telemetry).
+	AuthKey []byte
+}
+
+// Site is one side of an established pair.
+type Site struct {
+	Spec       SiteSpec
+	Switch     *dataplane.Switch
+	Monitor    *control.Monitor    // measures incoming (peer->this) paths
+	Controller *control.Controller // steers outgoing (this->peer) traffic
+	Reporter   *control.Reporter
+	Prober     *workload.Prober
+	// OutPaths are the discovered wide-area paths for traffic leaving
+	// this site, indexed by tunnel PathID-1.
+	OutPaths []control.DiscoveredPath
+
+	// SwitchAddr is the outer source address for this site's tunnels.
+	SwitchAddr netip.Addr
+	// Endpoints are this site's announced tunnel endpoints (incoming).
+	Endpoints []netip.Addr
+
+	peer  *Site
+	sinks []func([]byte) bool
+}
+
+// Send passes a host packet to the site's border switch (tunnelled when
+// its destination belongs to the peer site).
+func (s *Site) Send(inner []byte) { s.Switch.HandleHostTraffic(inner) }
+
+// AddSink registers a consumer for decapsulated inner packets arriving at
+// this site; the first sink returning true claims the packet.
+func (s *Site) AddSink(fn func([]byte) bool) { s.sinks = append(s.sinks, fn) }
+
+// PathName returns the provider label for one of this site's outgoing
+// path IDs.
+func (s *Site) PathName(id uint8) string {
+	i := int(id) - 1
+	if i < 0 || i >= len(s.OutPaths) {
+		return fmt.Sprintf("path-%d", id)
+	}
+	return s.OutPaths[i].ProviderName
+}
+
+// Peer returns the other site.
+func (s *Site) Peer() *Site { return s.peer }
+
+// Pair is a Tango deployment between two sites.
+type Pair struct {
+	A, B *Site
+
+	cfg   PairConfig
+	eng   *sim.Engine
+	ready bool
+	// OnReady fires once both directions are provisioned.
+	OnReady func()
+}
+
+// Ready reports whether establishment completed.
+func (p *Pair) Ready() bool { return p.ready }
+
+// NewPair prepares (but does not start) a deployment. Both sites must
+// live on the same engine.
+func NewPair(cfg PairConfig) *Pair {
+	if cfg.A.Edge.Speaker.Engine() != cfg.B.Edge.Speaker.Engine() {
+		panic("core: sites on different engines")
+	}
+	if cfg.RoundWait == 0 {
+		cfg.RoundWait = 2 * time.Minute
+	}
+	if cfg.SettleWait == 0 {
+		cfg.SettleWait = 3 * time.Minute
+	}
+	if cfg.ProbeInterval > 0 && cfg.ReportInterval == 0 {
+		cfg.ReportInterval = 100 * time.Millisecond
+	}
+	if cfg.PolicyA == nil {
+		cfg.PolicyA = &control.MinOWD{HysteresisMs: 0.5, MinDwell: 2 * time.Second}
+	}
+	if cfg.PolicyB == nil {
+		cfg.PolicyB = &control.MinOWD{HysteresisMs: 0.5, MinDwell: 2 * time.Second}
+	}
+	if cfg.NameFor == nil {
+		cfg.NameFor = func(a bgp.ASN) string {
+			return topo.ProviderNameForPath(bgp.Path{a, bgp.ASVultr})
+		}
+	}
+	p := &Pair{cfg: cfg, eng: cfg.A.Edge.Speaker.Engine()}
+	p.A = newSite(cfg.A)
+	p.B = newSite(cfg.B)
+	p.A.peer, p.B.peer = p.B, p.A
+	return p
+}
+
+func newSite(spec SiteSpec) *Site {
+	s := &Site{Spec: spec}
+	s.Switch = dataplane.NewSwitch(spec.Edge.Node)
+	// The switch's outer source address lives near the top of the host
+	// prefix.
+	sa, err := spec.HostPrefix.Host(0xfffe)
+	if err != nil {
+		panic(err)
+	}
+	s.SwitchAddr = sa
+	spec.Edge.Node.AddAddr(sa)
+	s.Monitor = control.NewMonitor()
+	s.Switch.DeliverLocal = func(inner []byte) {
+		for _, sink := range s.sinks {
+			if sink(inner) {
+				return
+			}
+		}
+	}
+	return s
+}
+
+// Establish schedules the full establishment sequence on the engine and
+// returns immediately; drive the engine (e.g. Pair.RunUntilReady) to make
+// progress. Sequence: concurrent bidirectional discovery, pinned prefix
+// origination, settle, tunnel provisioning and measurement wiring.
+func (p *Pair) Establish() {
+	var pathsAtoB, pathsBtoA []control.DiscoveredPath
+	doneCount := 0
+	finish := func() {
+		doneCount++
+		if doneCount != 2 {
+			return
+		}
+		p.A.OutPaths = pathsAtoB
+		p.B.OutPaths = pathsBtoA
+		// Each site originates one pinned prefix per path toward it.
+		p.originatePinned(p.B, pathsAtoB) // A->B paths: B announces endpoints
+		p.originatePinned(p.A, pathsBtoA)
+		p.eng.Schedule(p.cfg.SettleWait, func() {
+			p.provision(p.A, p.B, pathsAtoB)
+			p.provision(p.B, p.A, pathsBtoA)
+			p.wireMeasurement()
+			p.ready = true
+			if p.OnReady != nil {
+				p.OnReady()
+			}
+		})
+	}
+
+	// Discovery for A->B traffic: B announces, A observes.
+	dAB := &control.Discoverer{
+		Announcer: p.B.Spec.Edge.Speaker,
+		Observer:  p.A.Spec.Edge.Speaker,
+		Probe:     p.B.Spec.ProbePrefix,
+		POPAS:     p.B.Spec.POPAS,
+		NameFor:   p.cfg.NameFor,
+		RoundWait: p.cfg.RoundWait,
+	}
+	dBA := &control.Discoverer{
+		Announcer: p.A.Spec.Edge.Speaker,
+		Observer:  p.B.Spec.Edge.Speaker,
+		Probe:     p.A.Spec.ProbePrefix,
+		POPAS:     p.A.Spec.POPAS,
+		NameFor:   p.cfg.NameFor,
+		RoundWait: p.cfg.RoundWait,
+	}
+	dAB.Run(func(found []control.DiscoveredPath) { pathsAtoB = found; finish() })
+	dBA.Run(func(found []control.DiscoveredPath) { pathsBtoA = found; finish() })
+}
+
+// originatePinned has dst announce one /48 per incoming path, pinned to
+// that path's provider by suppressing all others.
+func (p *Pair) originatePinned(dst *Site, paths []control.DiscoveredPath) {
+	for i := range paths {
+		pfx, err := dst.Spec.Block.Subnet(48, i)
+		if err != nil {
+			panic(err)
+		}
+		dst.Spec.Edge.Speaker.Originate(pfx, control.PinCommunities(paths, i)...)
+		ep, err := pfx.Host(1)
+		if err != nil {
+			panic(err)
+		}
+		dst.Spec.Edge.Node.AddAddr(ep)
+		dst.Endpoints = append(dst.Endpoints, ep)
+	}
+}
+
+// provision creates src's outgoing tunnels toward dst's endpoints.
+func (p *Pair) provision(src, dst *Site, paths []control.DiscoveredPath) {
+	for i, dp := range paths {
+		src.Switch.AddTunnel(&dataplane.Tunnel{
+			PathID:     uint8(i + 1),
+			Name:       dp.ProviderName,
+			LocalAddr:  src.SwitchAddr,
+			RemoteAddr: dst.Endpoints[i],
+			SrcPort:    uint16(41000 + i),
+		})
+	}
+	src.Switch.AddPeerPrefix(dst.Spec.HostPrefix)
+}
+
+func (p *Pair) wireMeasurement() {
+	if len(p.cfg.AuthKey) > 0 {
+		p.A.Switch.SetAuthKey(p.cfg.AuthKey)
+		p.B.Switch.SetAuthKey(p.cfg.AuthKey)
+	}
+	cfgPolicies := map[*Site]control.Policy{p.A: p.cfg.PolicyA, p.B: p.cfg.PolicyB}
+	for _, s := range []*Site{p.A, p.B} {
+		peer := s.peer
+		s.Monitor.RecordBucket = p.cfg.RecordBucket
+		nameFor := func(peer *Site) func(uint8) string {
+			return func(id uint8) string { return peer.PathName(id) }
+		}(peer)
+		s.Monitor.Attach(s.Switch, nameFor)
+
+		s.Controller = control.NewController(p.eng, s.Switch, cfgPolicies[s])
+		s.Controller.AttachFeedback(s.Switch)
+		if p.cfg.DecideEvery > 0 {
+			s.Controller.Start(p.cfg.DecideEvery)
+		}
+		if p.cfg.ReportInterval > 0 {
+			s.Reporter = control.NewReporter(p.eng, s.Monitor, s.Switch, p.cfg.ReportInterval)
+			// A path that stops delivering packets must stop being
+			// reported, so the sender's estimate goes stale and its
+			// policy evacuates.
+			maxAge := 2 * time.Second
+			if v := 5 * p.cfg.ReportInterval; v > maxAge {
+				maxAge = v
+			}
+			s.Reporter.MaxAge = maxAge
+		}
+	}
+	if p.cfg.ProbeInterval > 0 {
+		aHost, _ := p.A.Spec.HostPrefix.Host(0xfffd)
+		bHost, _ := p.B.Spec.HostPrefix.Host(0xfffd)
+		p.A.Prober = workload.NewProber(p.eng, p.A.Switch, aHost, bHost, p.cfg.ProbeInterval)
+		p.B.Prober = workload.NewProber(p.eng, p.B.Switch, bHost, aHost, p.cfg.ProbeInterval)
+	}
+}
+
+// RunUntilReady drives the engine until establishment completes or the
+// deadline passes, reporting success.
+func (p *Pair) RunUntilReady(maxVirtual time.Duration) bool {
+	deadline := p.eng.Now() + maxVirtual
+	for !p.ready && p.eng.Now() < deadline {
+		step := 10 * time.Second
+		if remaining := deadline - p.eng.Now(); remaining < step {
+			step = remaining
+		}
+		p.eng.Run(p.eng.Now() + step)
+	}
+	return p.ready
+}
+
+// VultrPair builds a Pair over the paper's Vultr scenario with sensible
+// defaults: NY is site A, LA is site B.
+func VultrPair(s *topo.Scenario, cfg PairConfig) *Pair {
+	cfg.A = SiteSpec{
+		Name:        "ny",
+		Edge:        s.EdgeNY,
+		POPAS:       bgp.ASVultr,
+		Block:       s.BlockNY,
+		HostPrefix:  s.HostNY,
+		ProbePrefix: addr.MustParsePrefix("2001:db8:1f0::/48"),
+	}
+	cfg.B = SiteSpec{
+		Name:        "la",
+		Edge:        s.EdgeLA,
+		POPAS:       bgp.ASVultr,
+		Block:       s.BlockLA,
+		HostPrefix:  s.HostLA,
+		ProbePrefix: addr.MustParsePrefix("2001:db8:2f0::/48"),
+	}
+	return NewPair(cfg)
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"tango/internal/packet"
+)
+
+// probePacket builds a minimal inner IPv6/UDP packet for tests.
+func probePacket(t *testing.T, src, dst netip.Addr) []byte {
+	t.Helper()
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload([]byte("host-data"))
+	udp := &packet.UDP{SrcPort: 9999, DstPort: 9998}
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}

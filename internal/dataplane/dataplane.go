@@ -1,0 +1,421 @@
+// Package dataplane implements the Tango border-switch data plane — the
+// role the paper fills with eBPF programs (or, in the full architecture,
+// programmable switches).
+//
+// The sender side classifies traffic destined for the cooperating edge
+// network, selects a wide-area path, and encapsulates the packet in an
+// outer IPv6 + UDP + Tango header carrying a path ID, per-path sequence
+// number, and a local-clock timestamp. The fixed outer 5-tuple per tunnel
+// pins any ECMP hashing inside transit providers, so each tunnel measures
+// exactly one wide-area path.
+//
+// The receiver side recognizes Tango traffic by the outer UDP port,
+// computes the one-way delay (receiver clock minus embedded timestamp —
+// offset by the constant clock skew, which cancels in path comparisons),
+// feeds sequence numbers to loss/reorder tracking, strips the
+// encapsulation, and forwards the inner packet toward the end host.
+// Measurement data can also be piggybacked back to the peer on ordinary
+// data packets via the Tango header's report block, so neither side ever
+// sends dedicated probe traffic unless it wants to.
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/packet"
+	"tango/internal/sim"
+	"tango/internal/simnet"
+)
+
+// Tunnel is one unidirectional wide-area path to the peer switch: traffic
+// sent to RemoteAddr transits the provider path that prefix was announced
+// over.
+type Tunnel struct {
+	PathID uint8
+	// Name labels the path for reports (e.g. the transit provider:
+	// "NTT", "GTT").
+	Name string
+	// LocalAddr and RemoteAddr are the outer tunnel endpoints; each
+	// lives in a prefix announced over a specific provider path.
+	LocalAddr, RemoteAddr netip.Addr
+	// SrcPort fixes the outer UDP source port (ECMP pinning).
+	SrcPort uint16
+
+	seq uint32
+
+	Stats struct {
+		Sent uint64
+	}
+}
+
+// nextSeq returns the tunnel's next sequence number.
+func (t *Tunnel) nextSeq() uint32 {
+	s := t.seq
+	t.seq++
+	return s
+}
+
+// Measurement is the receiver-side observation for one arriving packet.
+type Measurement struct {
+	At     sim.Time
+	PathID uint8
+	// OWD is the raw one-way delay in the receiver's clock domain:
+	// true wide-area delay plus the (constant) clock offset between the
+	// two switches. Comparisons between paths are exact; the absolute
+	// value is not.
+	OWD time.Duration
+	Seq uint32
+	// Size is the outer packet length in bytes.
+	Size int
+}
+
+// Selector picks the tunnel for an outbound packet. The controller
+// installs its policy here; inner packet bytes allow application-specific
+// routing (e.g. by traffic class or port).
+type Selector func(inner []byte) *Tunnel
+
+// Switch is one Tango border switch: it runs the sender program for
+// host traffic leaving the site and the receiver program for Tango
+// traffic arriving from the wide area.
+type Switch struct {
+	node  *simnet.Node
+	clock *sim.Clock
+
+	tunnels   []*Tunnel // indexed lookup by PathID
+	tunnelIDs map[uint8]*Tunnel
+
+	// peerHosts marks inner destination prefixes reachable through the
+	// cooperating switch ("a table which can be statically configured
+	// as both endpoints are cooperating", §3).
+	peerHosts addr.Trie[bool]
+
+	selector Selector
+
+	// OnMeasure receives every receiver-side observation.
+	OnMeasure func(Measurement)
+	// OnReport receives piggybacked reverse-path reports.
+	OnReport func(packet.OWDReport)
+	// DeliverLocal consumes decapsulated inner packets (defaults to
+	// re-injecting them into the node for normal forwarding).
+	DeliverLocal func(inner []byte)
+
+	// authKey, when set, makes the sender sign every Tango datagram and
+	// the receiver drop anything unsigned or failing verification —
+	// before the measurement engine can be polluted (§6, trustworthy
+	// telemetry). Both switches of a pair must share the key.
+	authKey []byte
+
+	// pendingReports ride out one per encapsulated packet (FIFO). A
+	// bounded queue rather than a single slot: with sparse outbound
+	// traffic a slot aliases against the reporter's round-robin and can
+	// starve some paths of feedback entirely.
+	pendingReports []packet.OWDReport
+
+	// Reusable serialization state (the hot path does not allocate
+	// per-packet beyond the outgoing byte slice handed to the network).
+	buf *packet.SerializeBuffer
+
+	// Preallocated decode layers.
+	decIP  packet.IPv6
+	decUDP packet.UDP
+	decTng packet.Tango
+
+	Stats struct {
+		Encapped     uint64
+		Decapped     uint64
+		NotTango     uint64
+		BadPacket    uint64
+		NoTunnel     uint64
+		AuthFail     uint64
+		ReportsSent  uint64
+		ReportsRecvd uint64
+	}
+}
+
+// NewSwitch attaches a Tango switch to a simnet node. It takes over the
+// node's local-delivery handler.
+func NewSwitch(node *simnet.Node) *Switch {
+	s := &Switch{
+		node:      node,
+		clock:     node.Clock(),
+		tunnelIDs: make(map[uint8]*Tunnel),
+		buf:       packet.NewSerializeBuffer(),
+	}
+	s.DeliverLocal = func(inner []byte) {} // dropped unless the site wires a host side
+	node.SetHandler(s.handle)
+	return s
+}
+
+// Node returns the underlying simnet node.
+func (s *Switch) Node() *simnet.Node { return s.node }
+
+// AddTunnel registers a path. The tunnel's local endpoint address is
+// claimed on the node so arriving outer packets are delivered here.
+func (s *Switch) AddTunnel(t *Tunnel) {
+	if _, dup := s.tunnelIDs[t.PathID]; dup {
+		panic(fmt.Sprintf("dataplane: duplicate tunnel path id %d", t.PathID))
+	}
+	s.tunnels = append(s.tunnels, t)
+	s.tunnelIDs[t.PathID] = t
+	s.node.AddAddr(t.LocalAddr)
+}
+
+// RemoveTunnel withdraws a path (e.g. discovery found it dead).
+func (s *Switch) RemoveTunnel(pathID uint8) {
+	t, ok := s.tunnelIDs[pathID]
+	if !ok {
+		return
+	}
+	delete(s.tunnelIDs, pathID)
+	for i, x := range s.tunnels {
+		if x == t {
+			s.tunnels = append(s.tunnels[:i], s.tunnels[i+1:]...)
+			break
+		}
+	}
+}
+
+// Tunnels returns the registered tunnels in registration order.
+func (s *Switch) Tunnels() []*Tunnel { return s.tunnels }
+
+// Tunnel returns the tunnel with the given path ID.
+func (s *Switch) Tunnel(pathID uint8) (*Tunnel, bool) {
+	t, ok := s.tunnelIDs[pathID]
+	return t, ok
+}
+
+// AddPeerPrefix marks an inner destination prefix as reachable via the
+// cooperating switch.
+func (s *Switch) AddPeerPrefix(p addr.Prefix) { s.peerHosts.Insert(p, true) }
+
+// SetSelector installs the path-selection policy. With none installed the
+// first registered tunnel carries everything.
+func (s *Switch) SetSelector(sel Selector) { s.selector = sel }
+
+// SetAuthKey enables authenticated telemetry: outgoing Tango datagrams
+// are signed (truncated HMAC-SHA256 over header, report, and inner
+// packet) and incoming ones must verify or they are dropped uncounted.
+// Pass nil to disable. Both sides must share the key.
+func (s *Switch) SetAuthKey(key []byte) {
+	s.authKey = append([]byte(nil), key...)
+	if len(key) == 0 {
+		s.authKey = nil
+	}
+}
+
+// QueueReport schedules a reverse-path measurement report to piggyback on
+// upcoming outbound encapsulated packets (one per packet, FIFO, bounded).
+func (s *Switch) QueueReport(r packet.OWDReport) {
+	const maxPending = 16
+	if len(s.pendingReports) >= maxPending {
+		s.pendingReports = s.pendingReports[1:]
+	}
+	s.pendingReports = append(s.pendingReports, r)
+}
+
+// SendToPeer runs the sender program on an inner packet: pick a tunnel,
+// encapsulate, timestamp, inject. Exposed for hosts colocated with the
+// switch; transit host traffic goes through the node handler.
+func (s *Switch) SendToPeer(inner []byte) {
+	s.encapAndSend(inner)
+}
+
+// SendOnTunnel encapsulates inner onto a specific tunnel, bypassing the
+// selector. The measurement prober uses it to exercise every exposed
+// path at a fixed rate regardless of where data traffic currently flows.
+func (s *Switch) SendOnTunnel(tun *Tunnel, inner []byte) {
+	s.encapOn(tun, inner)
+}
+
+// handle is the node's local-delivery hook: every packet addressed to one
+// of the node's owned addresses lands here.
+func (s *Switch) handle(_ *simnet.Port, data []byte) {
+	if s.isTangoPacket(data) {
+		s.receiverProgram(data)
+		return
+	}
+	s.Stats.NotTango++
+	s.DeliverLocal(data)
+}
+
+// HandleHostTraffic is the sender-side entry for traffic originated by
+// local hosts: if the destination belongs to the cooperating edge, it is
+// tunnelled; otherwise it is forwarded untouched (ordinary BGP routing).
+func (s *Switch) HandleHostTraffic(data []byte) {
+	dst, ok := innerDst(data)
+	if !ok {
+		s.Stats.BadPacket++
+		return
+	}
+	if _, _, tango := s.peerHosts.Lookup(dst); tango {
+		s.encapAndSend(data)
+		return
+	}
+	s.node.Inject(data)
+}
+
+func innerDst(data []byte) (netip.Addr, bool) {
+	if len(data) < 1 {
+		return netip.Addr{}, false
+	}
+	switch data[0] >> 4 {
+	case 6:
+		if len(data) < 40 {
+			return netip.Addr{}, false
+		}
+		return netip.AddrFrom16([16]byte(data[24:40])), true
+	case 4:
+		if len(data) < 20 {
+			return netip.Addr{}, false
+		}
+		return netip.AddrFrom4([4]byte(data[16:20])), true
+	}
+	return netip.Addr{}, false
+}
+
+// encapAndSend is the sender eBPF program.
+func (s *Switch) encapAndSend(inner []byte) {
+	var tun *Tunnel
+	if s.selector != nil {
+		tun = s.selector(inner)
+	} else if len(s.tunnels) > 0 {
+		tun = s.tunnels[0]
+	}
+	s.encapOn(tun, inner)
+}
+
+func (s *Switch) encapOn(tun *Tunnel, inner []byte) {
+	if tun == nil {
+		s.Stats.NoTunnel++
+		return
+	}
+	flags := uint8(packet.TangoFlagSeq | packet.TangoFlagTimestamp)
+	if len(inner) > 0 && inner[0]>>4 == 6 {
+		flags |= packet.TangoFlagInner6
+	}
+	hdr := packet.Tango{
+		Flags:    flags,
+		PathID:   tun.PathID,
+		Seq:      tun.nextSeq(),
+		SendTime: s.clock.Now(),
+	}
+	if len(s.pendingReports) > 0 {
+		hdr.Flags |= packet.TangoFlagReport
+		hdr.Report = s.pendingReports[0]
+		s.pendingReports = s.pendingReports[1:]
+		s.Stats.ReportsSent++
+	}
+	if s.authKey != nil {
+		hdr.ExtFlags |= packet.TangoExtAuth
+	}
+	udp := packet.UDP{SrcPort: tun.SrcPort, DstPort: packet.TangoPort}
+	udp.SetNetworkForChecksum(tun.LocalAddr, tun.RemoteAddr)
+	ip := packet.IPv6{
+		NextHeader: packet.ProtoUDP,
+		HopLimit:   64,
+		Src:        tun.LocalAddr,
+		Dst:        tun.RemoteAddr,
+	}
+	pay := packet.Payload(inner)
+	if s.authKey != nil {
+		// Two-phase build: serialize the Tango datagram, sign it in
+		// place, then wrap it in UDP (whose checksum must cover the
+		// final tag) and IP.
+		s.buf.Clear()
+		if err := pay.SerializeTo(s.buf); err != nil {
+			s.Stats.BadPacket++
+			return
+		}
+		if err := hdr.SerializeTo(s.buf); err != nil {
+			s.Stats.BadPacket++
+			return
+		}
+		if err := packet.SignTangoDatagram(s.authKey, s.buf.Bytes()); err != nil {
+			s.Stats.BadPacket++
+			return
+		}
+		if err := udp.SerializeTo(s.buf); err != nil {
+			s.Stats.BadPacket++
+			return
+		}
+		if err := ip.SerializeTo(s.buf); err != nil {
+			s.Stats.BadPacket++
+			return
+		}
+	} else if err := packet.SerializeLayers(s.buf, &ip, &udp, &hdr, &pay); err != nil {
+		s.Stats.BadPacket++
+		return
+	}
+	out := make([]byte, s.buf.Len())
+	copy(out, s.buf.Bytes())
+	tun.Stats.Sent++
+	s.Stats.Encapped++
+	s.node.Inject(out)
+}
+
+// isTangoPacket performs the cheap match an eBPF program would do before
+// full parsing: IPv6, UDP, Tango destination port.
+func (s *Switch) isTangoPacket(data []byte) bool {
+	if len(data) < 48 || data[0]>>4 != 6 {
+		return false
+	}
+	if data[6] != packet.ProtoUDP {
+		return false
+	}
+	dport := uint16(data[42])<<8 | uint16(data[43])
+	return dport == packet.TangoPort
+}
+
+// receiverProgram is the receiver eBPF program: parse, measure, decap,
+// deliver.
+func (s *Switch) receiverProgram(data []byte) {
+	if err := s.decIP.DecodeFromBytes(data); err != nil {
+		s.Stats.BadPacket++
+		return
+	}
+	if err := s.decUDP.DecodeFromBytes(s.decIP.LayerPayload()); err != nil {
+		s.Stats.BadPacket++
+		return
+	}
+	if err := s.decUDP.VerifyChecksum(s.decIP.Src, s.decIP.Dst, s.decIP.LayerPayload()); err != nil {
+		s.Stats.BadPacket++
+		return
+	}
+	if err := s.decTng.DecodeFromBytes(s.decUDP.LayerPayload()); err != nil {
+		s.Stats.BadPacket++
+		return
+	}
+	if s.authKey != nil && !packet.VerifyTangoDatagram(s.authKey, s.decUDP.LayerPayload()) {
+		// Unsigned or tampered: reject before it can pollute the
+		// measurement engine.
+		s.Stats.AuthFail++
+		return
+	}
+	hdr := &s.decTng
+	if hdr.Flags&packet.TangoFlagTimestamp != 0 && s.OnMeasure != nil {
+		owd := time.Duration(s.clock.Now() - hdr.SendTime)
+		s.OnMeasure(Measurement{
+			At:     s.node.Network().Now(),
+			PathID: hdr.PathID,
+			OWD:    owd,
+			Seq:    hdr.Seq,
+			Size:   len(data),
+		})
+	}
+	if hdr.Flags&packet.TangoFlagReport != 0 {
+		s.Stats.ReportsRecvd++
+		if s.OnReport != nil {
+			s.OnReport(hdr.Report)
+		}
+	}
+	s.Stats.Decapped++
+	inner := hdr.LayerPayload()
+	if len(inner) > 0 {
+		out := make([]byte, len(inner))
+		copy(out, inner)
+		s.DeliverLocal(out)
+	}
+}

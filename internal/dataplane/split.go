@@ -1,0 +1,108 @@
+package dataplane
+
+import "encoding/binary"
+
+// SplitSelector implements the §6 direction of "effective load balancing
+// across multiple paths in the data plane": outbound flows are spread
+// across tunnels in proportion to configurable weights, with flow
+// stickiness — all packets of one inner flow ride the same tunnel, so the
+// split never reorders a flow (the property ECMP gives the core, applied
+// at the Tango edge under the operator's control).
+//
+// Weights can be retargeted at runtime (e.g. by a controller shifting
+// load away from a degraded path without abandoning it entirely).
+type SplitSelector struct {
+	sw      *Switch
+	weights map[uint8]float64
+	// cumulative distribution over tunnel IDs, rebuilt on SetWeights.
+	ids  []uint8
+	cum  []float64
+	norm float64
+}
+
+// NewSplitSelector builds a selector over the switch's tunnels. Weights
+// map path IDs to nonnegative relative weights; tunnels absent from the
+// map get weight 0. Install with sw.SetSelector(sel.Select).
+func NewSplitSelector(sw *Switch, weights map[uint8]float64) *SplitSelector {
+	s := &SplitSelector{sw: sw}
+	s.SetWeights(weights)
+	return s
+}
+
+// SetWeights replaces the split. A nil or all-zero map routes everything
+// to the first tunnel.
+func (s *SplitSelector) SetWeights(weights map[uint8]float64) {
+	s.weights = weights
+	s.ids = s.ids[:0]
+	s.cum = s.cum[:0]
+	s.norm = 0
+	for _, tun := range s.sw.Tunnels() {
+		w := weights[tun.PathID]
+		if w <= 0 {
+			continue
+		}
+		s.norm += w
+		s.ids = append(s.ids, tun.PathID)
+		s.cum = append(s.cum, s.norm)
+	}
+}
+
+// Weights returns the active weight map.
+func (s *SplitSelector) Weights() map[uint8]float64 { return s.weights }
+
+// Select implements the Selector contract: hash the inner flow onto the
+// weighted distribution.
+func (s *SplitSelector) Select(inner []byte) *Tunnel {
+	if len(s.ids) == 0 {
+		ts := s.sw.Tunnels()
+		if len(ts) == 0 {
+			return nil
+		}
+		return ts[0]
+	}
+	h := innerFlowHash(inner)
+	// Map the hash uniformly onto [0, norm).
+	x := float64(h) / float64(1<<32) * s.norm
+	for i, c := range s.cum {
+		if x < c {
+			t, _ := s.sw.Tunnel(s.ids[i])
+			return t
+		}
+	}
+	t, _ := s.sw.Tunnel(s.ids[len(s.ids)-1])
+	return t
+}
+
+// innerFlowHash hashes the inner packet's flow identity (addresses +
+// transport ports), FNV-1a.
+func innerFlowHash(inner []byte) uint32 {
+	var h uint32 = 2166136261
+	mix := func(b []byte) {
+		for _, v := range b {
+			h ^= uint32(v)
+			h *= 16777619
+		}
+	}
+	if len(inner) < 1 {
+		return h
+	}
+	switch inner[0] >> 4 {
+	case 6:
+		if len(inner) >= 44 {
+			mix(inner[8:40])
+			mix(inner[40:44])
+		}
+	case 4:
+		if len(inner) >= 24 {
+			mix(inner[12:20])
+			mix(inner[20:24])
+		}
+	default:
+		if len(inner) >= 4 {
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], uint32(len(inner)))
+			mix(b[:])
+		}
+	}
+	return h
+}

@@ -1,0 +1,113 @@
+package dataplane
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/packet"
+)
+
+// splitInner builds an inner packet with a distinct flow (source port).
+func splitInner(t *testing.T, sport uint16) []byte {
+	t.Helper()
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload([]byte("flowdata"))
+	udp := &packet.UDP{SrcPort: sport, DstPort: 7001}
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64,
+		Src: netip.MustParseAddr("2001:db8:aa::1"),
+		Dst: netip.MustParseAddr("2001:db8:bb::1")}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}
+
+func TestSplitSelectorProportions(t *testing.T) {
+	tp := newTestPair(t, 0, 0)
+	sel := NewSplitSelector(tp.swA, map[uint8]float64{1: 3, 2: 1})
+	tp.swA.SetSelector(sel.Select)
+
+	counts := map[uint8]int{}
+	tp.swB.OnMeasure = func(m Measurement) { counts[m.PathID]++ }
+
+	const flows = 4000
+	for i := 0; i < flows; i++ {
+		tp.swA.HandleHostTraffic(splitInner(t, uint16(i)))
+	}
+	tp.w.Run(time.Second)
+
+	total := counts[1] + counts[2]
+	if total != flows {
+		t.Fatalf("delivered %d/%d", total, flows)
+	}
+	frac := float64(counts[1]) / float64(total)
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Fatalf("path1 fraction = %.3f, want ~0.75 (counts %v)", frac, counts)
+	}
+}
+
+func TestSplitSelectorFlowStickiness(t *testing.T) {
+	tp := newTestPair(t, 0, 0)
+	sel := NewSplitSelector(tp.swA, map[uint8]float64{1: 1, 2: 1})
+	tp.swA.SetSelector(sel.Select)
+
+	perFlow := map[uint16]map[uint8]bool{}
+	// Track which path each flow's packets took via sequence of sends.
+	tp.swB.DeliverLocal = func(inner []byte) {}
+	tp.swB.OnMeasure = func(m Measurement) {}
+
+	for flow := uint16(0); flow < 50; flow++ {
+		pkt := splitInner(t, flow)
+		first := sel.Select(pkt)
+		perFlow[flow] = map[uint8]bool{first.PathID: true}
+		for i := 0; i < 20; i++ {
+			perFlow[flow][sel.Select(pkt).PathID] = true
+		}
+	}
+	for flow, paths := range perFlow {
+		if len(paths) != 1 {
+			t.Fatalf("flow %d split across paths %v", flow, paths)
+		}
+	}
+}
+
+func TestSplitSelectorRetarget(t *testing.T) {
+	tp := newTestPair(t, 0, 0)
+	sel := NewSplitSelector(tp.swA, map[uint8]float64{1: 1})
+	pkt := splitInner(t, 9)
+	if sel.Select(pkt).PathID != 1 {
+		t.Fatal("single-weight selector wrong")
+	}
+	sel.SetWeights(map[uint8]float64{2: 1})
+	if sel.Select(pkt).PathID != 2 {
+		t.Fatal("retarget ignored")
+	}
+	if sel.Weights()[2] != 1 {
+		t.Fatal("Weights accessor")
+	}
+	// Zero/empty weights fall back to the first tunnel.
+	sel.SetWeights(nil)
+	if sel.Select(pkt).PathID != 1 {
+		t.Fatal("fallback broken")
+	}
+	// Unknown path IDs in the map are ignored.
+	sel.SetWeights(map[uint8]float64{9: 5, 2: 1})
+	if sel.Select(pkt).PathID != 2 {
+		t.Fatal("unknown path id not ignored")
+	}
+}
+
+func TestSplitSelectorGarbageInner(t *testing.T) {
+	tp := newTestPair(t, 0, 0)
+	sel := NewSplitSelector(tp.swA, map[uint8]float64{1: 1, 2: 1})
+	if sel.Select(nil) == nil {
+		t.Fatal("nil inner must still pick a tunnel")
+	}
+	if sel.Select([]byte{0x00, 0x01}) == nil {
+		t.Fatal("garbage inner must still pick a tunnel")
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The ablation drivers are exercised at reduced duration; the assertions
+// check the *direction* of each trade-off, which is what the benches
+// report.
+
+func TestAblationHysteresisMonotone(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: time.Minute}
+	tiny := AblationHysteresis(cfg, 0.05)
+	big := AblationHysteresis(cfg, 5.0)
+	if tiny.Switches <= big.Switches {
+		t.Fatalf("flap count not monotone: margin 0.05ms -> %d switches, 5ms -> %d",
+			tiny.Switches, big.Switches)
+	}
+	if big.Switches > 3 {
+		t.Fatalf("large margin still flapping: %d switches", big.Switches)
+	}
+	if tiny.MeanTrueOWDMs <= 0 || big.MeanTrueOWDMs <= 0 {
+		t.Fatal("mean OWD not measured")
+	}
+}
+
+func TestAblationProbeRateDetection(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: time.Minute}
+	fast := AblationProbeRate(cfg, 10*time.Millisecond)
+	slow := AblationProbeRate(cfg, 200*time.Millisecond)
+	if fast.DetectionLatency == 0 {
+		t.Fatal("fast probing never detected the event")
+	}
+	if slow.DetectionLatency != 0 && slow.DetectionLatency < fast.DetectionLatency {
+		t.Fatalf("slower probing detected faster: %v vs %v",
+			slow.DetectionLatency, fast.DetectionLatency)
+	}
+	if fast.ProbesSent <= slow.ProbesSent {
+		t.Fatal("probe accounting wrong")
+	}
+}
+
+func TestAblationCadenceRuns(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: time.Minute}
+	res := AblationCadence(cfg, time.Second)
+	if res.MeanTrueOWDMs < 25 || res.MeanTrueOWDMs > 40 {
+		t.Fatalf("achieved OWD implausible: %.2f ms", res.MeanTrueOWDMs)
+	}
+	if res.Switches == 0 {
+		t.Fatal("controller never switched through the event")
+	}
+}
+
+func TestAblationEstimatorBounds(t *testing.T) {
+	cfg := Config{Seed: 1}
+	for _, alpha := range []float64{0.5, 0.05, 0.005} {
+		misled := AblationEstimator(cfg, alpha)
+		if misled < 0 || misled > 1 {
+			t.Fatalf("misled fraction out of range: %v", misled)
+		}
+	}
+	// Determinism.
+	if AblationEstimator(cfg, 0.05) != AblationEstimator(cfg, 0.05) {
+		t.Fatal("estimator ablation not deterministic")
+	}
+}

@@ -1,0 +1,159 @@
+// Package experiments regenerates every quantitative artifact in the
+// paper's evaluation (§4.1, §5, Figures 3 and 4) plus the supporting
+// analyses DESIGN.md lists as E6-E8, on the simulated Vultr deployment.
+//
+// Each experiment returns a Result: pass/fail checks against the paper's
+// claims (shape, not absolute numbers), human-readable table rows, and
+// the time series needed to redraw the figures. The cmd/tango-lab binary
+// and the root bench_test.go both drive these entry points.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"tango/internal/measure"
+)
+
+// Check compares one of the paper's claims against the measured value.
+type Check struct {
+	Name     string
+	Paper    string // what the paper reports
+	Measured string // what this run measured
+	Pass     bool
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Checks []Check
+	// Rows is a display table: Rows[0] is the header.
+	Rows [][]string
+	// Series holds figure data keyed by label.
+	Series map[string]*measure.Series
+	// Notes carries free-form observations.
+	Notes []string
+	// VirtualTime is how much simulated time the experiment covered.
+	VirtualTime time.Duration
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Series: make(map[string]*measure.Series)}
+}
+
+func (r *Result) check(name, paper string, pass bool, measuredFmt string, args ...any) {
+	r.Checks = append(r.Checks, Check{
+		Name:     name,
+		Paper:    paper,
+		Measured: fmt.Sprintf(measuredFmt, args...),
+		Pass:     pass,
+	})
+}
+
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders the result for a terminal.
+func (r *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s (virtual time %v)\n", r.ID, r.Title, r.VirtualTime)
+	if len(r.Rows) > 0 {
+		widths := make([]int, len(r.Rows[0]))
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		for ri, row := range r.Rows {
+			var b strings.Builder
+			b.WriteString("   ")
+			for i, cell := range row {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+			}
+			fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+			if ri == 0 {
+				fmt.Fprintf(w, "   %s\n", strings.Repeat("-", sum(widths)+2*len(widths)))
+			}
+		}
+	}
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "   [%s] %-38s paper: %-28s measured: %s\n", mark, c.Name, c.Paper, c.Measured)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce bit-for-bit.
+	Seed int64
+	// Duration is the main measurement window of virtual time. Zero
+	// uses each experiment's default (kept modest so the full suite
+	// runs in seconds of real time; the paper's 8-day trace is the
+	// same process run longer).
+	Duration time.Duration
+	// ProbeInterval defaults to the paper's 10 ms.
+	ProbeInterval time.Duration
+}
+
+func (c Config) probe() time.Duration {
+	if c.ProbeInterval == 0 {
+		return 10 * time.Millisecond
+	}
+	return c.ProbeInterval
+}
+
+func (c Config) dur(def time.Duration) time.Duration {
+	if c.Duration == 0 {
+		return def
+	}
+	return c.Duration
+}
+
+// All runs every experiment in order.
+func All(cfg Config) []*Result {
+	return []*Result{
+		E1PathDiscovery(cfg),
+		E2OWDComparison(cfg),
+		E3Jitter(cfg),
+		E4RouteChange(cfg),
+		E5Instability(cfg),
+		E6InOrderImpact(cfg),
+		E7MeasurementSoundness(cfg),
+		E8DataPlaneCost(cfg),
+		E9LossReorder(cfg),
+	}
+}
+
+// within reports whether v lies in [lo, hi].
+func within(v, lo, hi float64) bool { return v >= lo && v <= hi }
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

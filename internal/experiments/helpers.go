@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"net/netip"
+
+	"tango/internal/dataplane"
+	"tango/internal/packet"
+)
+
+func mustAddr6(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// innerPacket builds an inner IPv6/UDP packet with the given payload size.
+func innerPacket(payload int) []byte {
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(make([]byte, payload))
+	udp := &packet.UDP{SrcPort: 7000, DstPort: 7001}
+	ip := &packet.IPv6{
+		NextHeader: packet.ProtoUDP,
+		HopLimit:   64,
+		Src:        mustAddr6("2001:db8:aa::1"),
+		Dst:        mustAddr6("2001:db8:bb::1"),
+	}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		panic(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}
+
+// buildOuter wraps inner in the full Tango encapsulation addressed to the
+// tunnel's remote endpoint (for feeding a receiver program directly).
+func buildOuter(tun *dataplane.Tunnel, inner []byte) []byte {
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(inner)
+	hdr := &packet.Tango{
+		Flags:    packet.TangoFlagSeq | packet.TangoFlagTimestamp | packet.TangoFlagInner6,
+		PathID:   tun.PathID,
+		Seq:      1,
+		SendTime: 1,
+	}
+	udp := &packet.UDP{SrcPort: tun.SrcPort, DstPort: packet.TangoPort}
+	udp.SetNetworkForChecksum(tun.LocalAddr, tun.RemoteAddr)
+	ip := &packet.IPv6{
+		NextHeader: packet.ProtoUDP,
+		HopLimit:   64,
+		Src:        tun.LocalAddr,
+		Dst:        tun.RemoteAddr,
+	}
+	if err := packet.SerializeLayers(buf, ip, udp, hdr, &pay); err != nil {
+		panic(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"time"
+
+	"tango/internal/control"
+	"tango/internal/core"
+	"tango/internal/topo"
+)
+
+// lab is a ready Tango deployment plus ground-truth bookkeeping the
+// experiments use for reporting (the simulator knows the true clock
+// offsets; the system under test does not).
+type lab struct {
+	S    *topo.Scenario
+	Pair *core.Pair
+	// offNYtoLA is the constant added to raw OWDs measured at LA for
+	// NY->LA traffic (receiver clock minus sender clock); offLAtoNY
+	// the reverse.
+	offNYtoLA time.Duration
+	offLAtoNY time.Duration
+	t0        time.Duration // virtual time when measurement started
+}
+
+type labOpts struct {
+	seed          int64
+	probeInterval time.Duration
+	recordBucket  time.Duration
+	decideEvery   time.Duration
+	policyNY      control.Policy
+	policyLA      control.Policy
+	clockNY       time.Duration
+	clockLA       time.Duration
+}
+
+// newLab builds the Vultr scenario, establishes the pair (discovery,
+// pinning, tunnels, measurement loop), and returns with probes flowing.
+func newLab(o labOpts) *lab {
+	if o.clockNY == 0 && o.clockLA == 0 {
+		o.clockNY, o.clockLA = 1700*time.Millisecond, -900*time.Millisecond
+	}
+	s := topo.NewVultrScenario(topo.ScenarioConfig{
+		Seed:          o.seed,
+		ClockOffsetNY: o.clockNY,
+		ClockOffsetLA: o.clockLA,
+	})
+	s.Run(5 * time.Minute)
+	p := core.VultrPair(s, core.PairConfig{
+		ProbeInterval: o.probeInterval,
+		RecordBucket:  o.recordBucket,
+		DecideEvery:   o.decideEvery,
+		PolicyA:       o.policyNY,
+		PolicyB:       o.policyLA,
+	})
+	p.Establish()
+	if !p.RunUntilReady(2 * time.Hour) {
+		panic("experiments: pair failed to establish")
+	}
+	return &lab{
+		S:         s,
+		Pair:      p,
+		offNYtoLA: o.clockLA - o.clockNY,
+		offLAtoNY: o.clockNY - o.clockLA,
+		t0:        s.B.W.Now(),
+	}
+}
+
+// run advances virtual time by d.
+func (l *lab) run(d time.Duration) { l.S.Run(d) }
+
+// now returns virtual time since measurement start.
+func (l *lab) now() time.Duration { return l.S.B.W.Now() - l.t0 }
+
+// trueMeanOWD returns the offset-corrected mean OWD (ms) for a monitored
+// path. mon must be the receiving site's monitor and off that direction's
+// clock-offset (receiver minus sender).
+func trueMean(pm *control.PathMonitor, off time.Duration) float64 {
+	return pm.OWD.Mean() - ms(off)
+}
+
+// monLA returns LA's monitor (NY->LA direction, the one Figure 4 plots).
+func (l *lab) monLA() *control.Monitor { return l.Pair.B.Monitor }
+
+// monNY returns NY's monitor (LA->NY direction).
+func (l *lab) monNY() *control.Monitor { return l.Pair.A.Monitor }
+
+// pathByName finds a monitored path by provider label.
+func pathByName(m *control.Monitor, name string) *control.PathMonitor {
+	for _, pm := range m.Paths() {
+		if pm.Name == name {
+			return pm
+		}
+	}
+	return nil
+}

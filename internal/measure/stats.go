@@ -1,0 +1,290 @@
+// Package measure implements the statistics behind Tango's measurement
+// story: streaming one-way-delay aggregates, the 1-second rolling-window
+// jitter metric the paper reports, time-series capture for figure
+// regeneration, quantiles, and sequence-gap loss/reorder accounting.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm),
+// numerically stable over the hundreds of millions of samples an 8-day
+// 10ms-probe trace produces. The zero value is ready for use.
+type Welford struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(v float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = v, v
+	} else {
+		if v < w.min {
+			w.min = v
+		}
+		if v > w.max {
+			w.max = v
+		}
+	}
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance.
+func (w *Welford) Var() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 with no samples).
+func (w *Welford) Max() float64 { return w.max }
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f", w.n, w.Mean(), w.Std(), w.min, w.max)
+}
+
+// RollingStd computes the paper's sub-second jitter metric: the standard
+// deviation of samples within each Window-long window, averaged over all
+// windows of the trace ("we calculated the mean standard deviation of a
+// 1-second rolling window", §5). Windows tumble on sample time; windows
+// with fewer than two samples contribute nothing.
+type RollingStd struct {
+	Window time.Duration
+
+	cur      Welford
+	curStart time.Duration
+	started  bool
+	winStds  Welford
+}
+
+// NewRollingStd returns a tracker with the given window (the paper uses
+// one second).
+func NewRollingStd(window time.Duration) *RollingStd {
+	if window <= 0 {
+		panic("measure: RollingStd window must be positive")
+	}
+	return &RollingStd{Window: window}
+}
+
+// Add incorporates a sample observed at virtual time t. Samples must
+// arrive in nondecreasing time order.
+func (r *RollingStd) Add(t time.Duration, v float64) {
+	if !r.started {
+		r.started = true
+		r.curStart = t - t%r.Window
+	}
+	for t >= r.curStart+r.Window {
+		r.closeWindow()
+		r.curStart += r.Window
+	}
+	r.cur.Add(v)
+}
+
+func (r *RollingStd) closeWindow() {
+	if r.cur.N() >= 2 {
+		r.winStds.Add(r.cur.Std())
+	}
+	r.cur.Reset()
+}
+
+// MeanStd returns the mean of per-window standard deviations, including
+// the currently open window.
+func (r *RollingStd) MeanStd() float64 {
+	final := r.winStds
+	if r.cur.N() >= 2 {
+		final.Add(r.cur.Std())
+	}
+	return final.Mean()
+}
+
+// Windows returns the number of closed windows that contributed.
+func (r *RollingStd) Windows() uint64 { return r.winStds.N() }
+
+// EWMA is an exponentially weighted moving average estimator — one of the
+// controller's path-delay estimators (the ablation benchmarks compare it
+// against windowed means under spike noise).
+type EWMA struct {
+	Alpha float64
+	v     float64
+	init  bool
+}
+
+// NewEWMA returns an estimator with the given smoothing factor in (0,1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("measure: EWMA alpha out of (0,1]")
+	}
+	return &EWMA{Alpha: alpha}
+}
+
+// Add incorporates a sample.
+func (e *EWMA) Add(v float64) {
+	if !e.init {
+		e.v, e.init = v, true
+		return
+	}
+	e.v += e.Alpha * (v - e.v)
+}
+
+// Value returns the current estimate (0 before any sample).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Valid reports whether at least one sample arrived.
+func (e *EWMA) Valid() bool { return e.init }
+
+// Reservoir keeps a bounded uniform sample for quantile estimation. It is
+// deterministic: the "random" replacement indices come from a splitmix64
+// stream seeded at construction, so experiments reproduce exactly.
+type Reservoir struct {
+	cap   int
+	seen  uint64
+	state uint64
+	vals  []float64
+}
+
+// NewReservoir returns a reservoir holding at most capn samples.
+func NewReservoir(capn int, seed uint64) *Reservoir {
+	if capn <= 0 {
+		panic("measure: reservoir capacity must be positive")
+	}
+	return &Reservoir{cap: capn, state: seed ^ 0x9e3779b97f4a7c15, vals: make([]float64, 0, capn)}
+}
+
+// Add incorporates one sample (Algorithm R).
+func (r *Reservoir) Add(v float64) {
+	r.seen++
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, v)
+		return
+	}
+	// next pseudo-random index in [0, seen)
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	idx := x % r.seen
+	if idx < uint64(r.cap) {
+		r.vals[idx] = v
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained sample.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.vals...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Seen returns how many samples were offered.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// SeqTracker derives loss, reordering, and duplication from the Tango
+// header's per-path sequence numbers (§3: "adding tunnel-specific
+// sequence numbers on packets can allow Tango to additionally compute
+// loss and reordering").
+type SeqTracker struct {
+	next      uint32
+	started   bool
+	Received  uint64
+	Lost      uint64 // gaps never filled (net of late arrivals)
+	Reordered uint64 // arrived after a later sequence number
+	Dup       uint64
+	// recent tracks sequence numbers seen out of an assumed gap so a
+	// late arrival converts a counted loss into a reorder.
+	recentGap map[uint32]bool
+}
+
+// Add processes one received sequence number and reports its kind:
+// "ok", "reorder", or "dup".
+func (s *SeqTracker) Add(seq uint32) string {
+	s.Received++
+	if !s.started {
+		s.started = true
+		s.next = seq + 1
+		return "ok"
+	}
+	switch {
+	case seq == s.next:
+		s.next++
+		return "ok"
+	case seqAfter(seq, s.next):
+		// Gap: provisionally count the skipped range as lost.
+		gap := seq - s.next
+		s.Lost += uint64(gap)
+		if s.recentGap == nil {
+			s.recentGap = make(map[uint32]bool)
+		}
+		for i := s.next; i != seq; i++ {
+			if len(s.recentGap) > 4096 {
+				break
+			}
+			s.recentGap[i] = true
+		}
+		s.next = seq + 1
+		return "ok"
+	default:
+		if s.recentGap[seq] {
+			delete(s.recentGap, seq)
+			if s.Lost > 0 {
+				s.Lost--
+			}
+			s.Reordered++
+			return "reorder"
+		}
+		s.Dup++
+		return "dup"
+	}
+}
+
+// seqAfter reports whether a is after b in 32-bit sequence space.
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+// LossRate returns lost / (received + lost).
+func (s *SeqTracker) LossRate() float64 {
+	total := s.Received + s.Lost
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(total)
+}

@@ -1,0 +1,125 @@
+// Package packet implements the wire formats Tango puts on the network:
+// IPv4, IPv6, UDP, and the Tango encapsulation header that carries the
+// path identifier, sequence number, and sender timestamp.
+//
+// The design follows the gopacket serialization idiom: layers are
+// *prepended* into a SerializeBuffer (payload first, then UDP, then IP),
+// so each layer can treat the bytes already in the buffer as its payload
+// when computing lengths and checksums. Decoding uses preallocated layer
+// structs (DecodeFromBytes) so the per-packet hot path — which in the
+// paper is an eBPF program — does not allocate.
+package packet
+
+import "fmt"
+
+// SerializeBuffer accumulates a packet back-to-front. PrependBytes returns
+// space in front of the current contents; AppendBytes returns space after.
+// Bytes returns the assembled packet. Clear resets for reuse (previously
+// returned slices are invalidated, as in gopacket).
+type SerializeBuffer struct {
+	data  []byte
+	start int // index of first used byte in data
+}
+
+// NewSerializeBuffer returns a buffer with a default capacity suitable for
+// a tunnel-encapsulated MTU-sized packet.
+func NewSerializeBuffer() *SerializeBuffer {
+	return NewSerializeBufferExpectedSize(128, 1500)
+}
+
+// NewSerializeBufferExpectedSize pre-reserves space for headers that will
+// be prepended and payload that will be appended.
+func NewSerializeBufferExpectedSize(expectedPrepend, expectedAppend int) *SerializeBuffer {
+	b := &SerializeBuffer{
+		data:  make([]byte, expectedPrepend, expectedPrepend+expectedAppend),
+		start: expectedPrepend,
+	}
+	return b
+}
+
+// Bytes returns the assembled packet. The slice is valid until the next
+// Prepend/Append/Clear.
+func (b *SerializeBuffer) Bytes() []byte { return b.data[b.start:] }
+
+// Len returns the current packet length.
+func (b *SerializeBuffer) Len() int { return len(b.data) - b.start }
+
+// PrependBytes returns a zeroed slice of n bytes in front of the current
+// contents for a header to be written into.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if n < 0 {
+		panic("packet: negative prepend")
+	}
+	if b.start < n {
+		// Grow at the front with doubling, so repeated large prepends
+		// amortize to O(1) (a per-call constant would let capacity —
+		// and make's zeroing cost — grow without bound on a reused
+		// buffer). Existing back free space is preserved.
+		used := len(b.data) - b.start
+		backFree := cap(b.data) - len(b.data)
+		newCap := 2*cap(b.data) + n
+		newStart := newCap - backFree - used
+		nd := make([]byte, newStart+used, newCap)
+		copy(nd[newStart:], b.data[b.start:])
+		b.data = nd
+		b.start = newStart
+	}
+	b.start -= n
+	out := b.data[b.start : b.start+n]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// AppendBytes returns a zeroed slice of n bytes after the current contents
+// for payload to be written into.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	if n < 0 {
+		panic("packet: negative append")
+	}
+	old := len(b.data)
+	if cap(b.data) < old+n {
+		nd := make([]byte, old, (old+n)*2)
+		copy(nd, b.data)
+		b.data = nd
+	}
+	b.data = b.data[:old+n]
+	out := b.data[old:]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// Clear empties the buffer. Almost all of the existing capacity becomes
+// front headroom (serialization is prepend-driven), with a slice kept
+// free at the back for appends.
+func (b *SerializeBuffer) Clear() {
+	c := cap(b.data)
+	keepBack := c / 8
+	b.start = c - keepBack
+	b.data = b.data[:b.start]
+}
+
+// SerializableLayer is a layer that can write itself in front of the
+// current buffer contents.
+type SerializableLayer interface {
+	// SerializeTo prepends the layer's wire form. The bytes already in
+	// buf are the layer's payload.
+	SerializeTo(buf *SerializeBuffer) error
+	// LayerType identifies the layer.
+	LayerType() LayerType
+}
+
+// SerializeLayers clears buf and serializes the given layers so they wrap
+// each other: SerializeLayers(buf, ip, udp, payload) produces ip(udp(payload)).
+func SerializeLayers(buf *SerializeBuffer, layers ...SerializableLayer) error {
+	buf.Clear()
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(buf); err != nil {
+			return fmt.Errorf("packet: serializing %v: %w", layers[i].LayerType(), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeBufferPrependAppend(t *testing.T) {
+	b := NewSerializeBuffer()
+	copy(b.AppendBytes(3), []byte{4, 5, 6})
+	copy(b.PrependBytes(3), []byte{1, 2, 3})
+	copy(b.AppendBytes(1), []byte{7})
+	want := []byte{1, 2, 3, 4, 5, 6, 7}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("Bytes = %v, want %v", b.Bytes(), want)
+	}
+	if b.Len() != 7 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestSerializeBufferGrowsFront(t *testing.T) {
+	b := NewSerializeBufferExpectedSize(2, 2)
+	copy(b.PrependBytes(1), []byte{9})
+	big := b.PrependBytes(100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	got := b.Bytes()
+	if len(got) != 101 || got[100] != 9 || got[50] != 50 {
+		t.Fatalf("front growth corrupted buffer: len=%d", len(got))
+	}
+}
+
+func TestSerializeBufferZeroesReturnedSpace(t *testing.T) {
+	b := NewSerializeBuffer()
+	p := b.PrependBytes(8)
+	for i := range p {
+		p[i] = 0xff
+	}
+	b.Clear()
+	p2 := b.PrependBytes(8)
+	for i, v := range p2 {
+		if v != 0 {
+			t.Fatalf("byte %d not zeroed after Clear: %#x", i, v)
+		}
+	}
+	a := b.AppendBytes(8)
+	for i, v := range a {
+		if v != 0 {
+			t.Fatalf("append byte %d not zeroed: %#x", i, v)
+		}
+	}
+}
+
+func TestSerializeBufferClear(t *testing.T) {
+	b := NewSerializeBuffer()
+	b.AppendBytes(10)
+	b.Clear()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", b.Len())
+	}
+	copy(b.PrependBytes(2), []byte{1, 2})
+	if !bytes.Equal(b.Bytes(), []byte{1, 2}) {
+		t.Fatalf("reuse after Clear = %v", b.Bytes())
+	}
+}
+
+func TestSerializeBufferNegativePanics(t *testing.T) {
+	b := NewSerializeBuffer()
+	for _, fn := range []func(){
+		func() { b.PrependBytes(-1) },
+		func() { b.AppendBytes(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("negative size did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: any interleaving of prepends and appends yields the
+// concatenation prepends-reversed ++ appends.
+func TestSerializeBufferOrderProperty(t *testing.T) {
+	f := func(ops []bool, chunks [][]byte) bool {
+		b := NewSerializeBufferExpectedSize(4, 4)
+		var front, back []byte
+		for i, pre := range ops {
+			if i >= len(chunks) {
+				break
+			}
+			c := chunks[i]
+			if len(c) > 64 {
+				c = c[:64]
+			}
+			if pre {
+				copy(b.PrependBytes(len(c)), c)
+				front = append(append([]byte{}, c...), front...)
+			} else {
+				copy(b.AppendBytes(len(c)), c)
+				back = append(back, c...)
+			}
+		}
+		want := append(front, back...)
+		return bytes.Equal(b.Bytes(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumRFC1071Vector(t *testing.T) {
+	// Classic example from RFC 1071 §3: data 00 01 f2 03 f4 f5 f6 f7
+	// sums to ddf2 (before complement).
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := checksum(data, 0); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+	// Odd length: trailing byte padded with zero.
+	odd := []byte{0x01}
+	if got := checksum(odd, 0); got != ^uint16(0x0100) {
+		t.Fatalf("odd checksum = %#x", got)
+	}
+}

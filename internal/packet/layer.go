@@ -1,0 +1,95 @@
+package packet
+
+import "fmt"
+
+// LayerType identifies a protocol layer.
+type LayerType uint8
+
+// Layer types understood by this package.
+const (
+	LayerTypeNone LayerType = iota
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeUDP
+	LayerTypeTango
+	LayerTypePayload
+)
+
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeNone:
+		return "None"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeIPv6:
+		return "IPv6"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeTango:
+		return "Tango"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("LayerType(%d)", uint8(t))
+}
+
+// DecodingLayer is a layer that can parse itself from bytes without
+// allocating, gopacket-style: the caller owns a set of preallocated layer
+// structs and reuses them packet after packet.
+type DecodingLayer interface {
+	// DecodeFromBytes parses the layer. The layer must retain only
+	// sub-slices of data (zero copy); data must stay valid while the
+	// layer is in use.
+	DecodeFromBytes(data []byte) error
+	// LayerType identifies the layer.
+	LayerType() LayerType
+	// NextLayerType reports the type of the payload layer, or
+	// LayerTypePayload if unknown/opaque.
+	NextLayerType() LayerType
+	// LayerPayload returns the bytes after this layer's header.
+	LayerPayload() []byte
+}
+
+// Parser decodes a packet into a fixed set of preallocated layers,
+// mirroring gopacket's DecodingLayerParser. It stops at the first layer
+// type it has no decoder for (leaving the remainder as opaque payload).
+type Parser struct {
+	first    LayerType
+	decoders [8]DecodingLayer // indexed by LayerType; small and fixed
+	// Truncated is set when the last decoded layer reported a payload
+	// shorter than its headers promised.
+	Truncated bool
+}
+
+// NewParser builds a parser beginning at first, with the given layers as
+// decode targets.
+func NewParser(first LayerType, layers ...DecodingLayer) *Parser {
+	p := &Parser{first: first}
+	for _, l := range layers {
+		p.decoders[l.LayerType()] = l
+	}
+	return p
+}
+
+// Decode parses data, appending the types of successfully decoded layers
+// to decoded (which is reset first). It returns the remaining opaque
+// payload after the last decoded layer.
+func (p *Parser) Decode(data []byte, decoded *[]LayerType) ([]byte, error) {
+	*decoded = (*decoded)[:0]
+	p.Truncated = false
+	t := p.first
+	rest := data
+	for t != LayerTypePayload && t != LayerTypeNone {
+		d := p.decoders[t]
+		if d == nil {
+			break
+		}
+		if err := d.DecodeFromBytes(rest); err != nil {
+			return rest, fmt.Errorf("packet: decoding %v: %w", t, err)
+		}
+		*decoded = append(*decoded, t)
+		rest = d.LayerPayload()
+		t = d.NextLayerType()
+	}
+	return rest, nil
+}

@@ -1,0 +1,231 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events scheduled for the same instant fire in scheduling order,
+// which—together with seeded random streams (see rng.go)—makes every run
+// with the same seed bit-for-bit reproducible. All Tango experiments are
+// built on this property: the paper's eight-day Internet measurement is
+// replaced by a virtual-time trace that can be regenerated exactly.
+//
+// The engine is single-goroutine by design. Simulated components never
+// block; they schedule continuations instead. This mirrors how an eBPF
+// program or a switch pipeline is written (run-to-completion handlers) and
+// avoids all locking on the simulation hot path.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an instant in virtual time, expressed as the duration elapsed
+// since the start of the simulation. The zero Time is the simulation epoch.
+type Time = time.Duration
+
+// Forever is a Time later than any event a simulation will schedule.
+const Forever Time = math.MaxInt64
+
+// Event is a scheduled callback. The callback runs exactly once, at the
+// scheduled virtual time, unless cancelled first.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	idx  int // heap index; -1 once fired or cancelled
+	next *Event
+}
+
+// Cancelled reports whether the event was cancelled or has already fired.
+func (e *Event) Cancelled() bool { return e.idx < 0 }
+
+// At returns the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Engine is a discrete-event simulator. The zero value is not ready for
+// use; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	running bool
+	stopped bool
+	free    *Event // freelist to avoid per-event allocation in long runs
+	nfree   int
+
+	// Stats counts engine activity; useful in tests and benchmarks.
+	Stats struct {
+		Scheduled uint64
+		Fired     uint64
+		Cancelled uint64
+	}
+}
+
+// NewEngine returns an engine with the clock at the simulation epoch.
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.pq = make(eventHeap, 0, 1024)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay d of virtual time. A negative delay is
+// treated as zero (fn runs at the current instant, after already-queued
+// events for this instant). The returned Event may be cancelled.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	if d < 0 {
+		d = 0
+	}
+	return e.scheduleAt(e.now+d, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t. Scheduling in the past is
+// an error that indicates broken component logic, so it panics.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) in the past (now %v)", t, e.now))
+	}
+	return e.scheduleAt(t, fn)
+}
+
+func (e *Engine) scheduleAt(t Time, fn func()) *Event {
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	heap.Push(&e.pq, ev)
+	e.Stats.Scheduled++
+	return ev
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.pq, ev.idx)
+	ev.idx = -1
+	ev.fn = nil
+	e.Stats.Cancelled++
+	e.release(ev)
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// instant. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*Event)
+	ev.idx = -1
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.release(ev)
+	e.Stats.Fired++
+	fn()
+	return true
+}
+
+// Run fires events until the queue drains or the clock would pass until.
+// It returns the number of events fired. Events scheduled exactly at until
+// are fired; later ones remain queued and the clock is left at until.
+func (e *Engine) Run(until Time) (fired int) {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 && !e.stopped {
+		if e.pq[0].at > until {
+			break
+		}
+		e.Step()
+		fired++
+	}
+	if until != Forever && e.now < until {
+		e.now = until
+	}
+	return fired
+}
+
+// RunAll fires events until the queue drains or Stop is called. Unlike
+// Run, it leaves the clock at the last fired event's instant.
+func (e *Engine) RunAll() (fired int) { return e.Run(Forever) }
+
+// Stop makes a Run in progress return after the current event completes.
+// It may be called from inside an event callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// NextAt returns the virtual time of the earliest pending event, or
+// (Forever, false) if the queue is empty.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.pq) == 0 {
+		return Forever, false
+	}
+	return e.pq[0].at, true
+}
+
+func (e *Engine) alloc() *Event {
+	if e.free == nil {
+		return &Event{}
+	}
+	ev := e.free
+	e.free = ev.next
+	ev.next = nil
+	e.nfree--
+	return ev
+}
+
+func (e *Engine) release(ev *Event) {
+	const maxFree = 4096
+	if e.nfree >= maxFree {
+		return
+	}
+	ev.next = e.free
+	e.free = ev
+	e.nfree++
+}
+
+// eventHeap orders events by (time, sequence number). The sequence tie-break
+// guarantees FIFO execution of events scheduled for the same instant, which
+// is what makes the engine deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() { fired++ })
+	}
+	n := e.Run(3 * time.Second)
+	if n != 3 || fired != 3 {
+		t.Fatalf("Run(3s) fired %d/%d, want 3", n, fired)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	// Events at exactly the boundary fire.
+	e2 := NewEngine()
+	hit := false
+	e2.Schedule(time.Second, func() { hit = true })
+	e2.Run(time.Second)
+	if !hit {
+		t.Fatal("event at boundary did not fire")
+	}
+}
+
+func TestEngineRunAdvancesClockWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.Run(5 * time.Second)
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-after-fire are no-ops.
+	e.Cancel(ev)
+	ev2 := e.Schedule(time.Second, func() {})
+	e.RunAll()
+	e.Cancel(ev2)
+}
+
+func TestEngineCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Second, func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[2])
+	e.RunAll()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			fired++
+			if fired == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if fired != 4 {
+		t.Fatalf("fired = %d, want 4 (Stop should halt the loop)", fired)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, rec)
+		}
+	}
+	e.Schedule(time.Millisecond, rec)
+	e.RunAll()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 100*time.Millisecond {
+		t.Fatalf("Now = %v, want 100ms", e.Now())
+	}
+}
+
+func TestEngineScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(0, func() {})
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(-time.Second, func() { ran = true })
+	e.RunAll()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative delay: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported an event")
+	}
+	e.Schedule(7*time.Second, func() {})
+	at, ok := e.NextAt()
+	if !ok || at != 7*time.Second {
+		t.Fatalf("NextAt = %v,%v", at, ok)
+	}
+}
+
+// Property: for any multiset of delays, events fire in nondecreasing time
+// order and the engine ends at the max delay.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fireTimes []Time
+		var max time.Duration
+		for _, d := range delaysRaw {
+			dd := time.Duration(d) * time.Microsecond
+			if dd > max {
+				max = dd
+			}
+			e.Schedule(dd, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.RunAll()
+		if !sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] }) {
+			return false
+		}
+		return e.Now() == max && len(fireTimes) == len(delaysRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved schedule/cancel keeps heap indices consistent —
+// every non-cancelled event fires exactly once.
+func TestEngineCancelProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		total := int(n)%64 + 1
+		fired := make([]int, total)
+		evs := make([]*Event, total)
+		for i := 0; i < total; i++ {
+			i := i
+			evs[i] = e.Schedule(time.Duration(r.Intn(1000))*time.Millisecond, func() { fired[i]++ })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < total/2; i++ {
+			k := r.Intn(total)
+			e.Cancel(evs[k])
+			cancelled[k] = true
+		}
+		e.RunAll()
+		for i, c := range fired {
+			if cancelled[i] && c != 0 {
+				return false
+			}
+			if !cancelled[i] && c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		s := NewStreams(42)
+		r := s.Stream("load")
+		var times []Time
+		var spawn func()
+		spawn = func() {
+			times = append(times, e.Now())
+			if len(times) < 500 {
+				e.Schedule(time.Duration(r.Intn(1000)+1)*time.Microsecond, spawn)
+			}
+		}
+		e.Schedule(0, spawn)
+		e.RunAll()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "math/rand"
+
+// RNG is a named, independently-seeded random stream. Components that need
+// randomness (jitter models, loss processes, traffic generators) each take
+// their own stream so that adding randomness to one component never
+// perturbs the draws seen by another. This keeps experiments comparable
+// across configurations: the "GTT instability" draws are identical whether
+// or not the controller is adaptive.
+type RNG struct {
+	*rand.Rand
+	name string
+}
+
+// Name returns the label the stream was created with.
+func (r *RNG) Name() string { return r.name }
+
+// Streams derives named RNGs from a master seed.
+type Streams struct {
+	seed int64
+}
+
+// NewStreams returns a factory for named random streams derived from seed.
+func NewStreams(seed int64) *Streams { return &Streams{seed: seed} }
+
+// Stream returns an independent generator for the given name. The same
+// (seed, name) pair always yields the same sequence.
+func (s *Streams) Stream(name string) *RNG {
+	h := fnv64(name)
+	// Mix the master seed with the name hash. splitmix64 finalization
+	// decorrelates nearby seeds.
+	x := uint64(s.seed) ^ h
+	x = splitmix64(x)
+	return &RNG{Rand: rand.New(rand.NewSource(int64(x))), name: name}
+}
+
+// Seed returns the master seed the factory was created with.
+func (s *Streams) Seed() int64 { return s.seed }
+
+func fnv64(name string) uint64 {
+	const offset = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Normal draws a normal variate with the given mean and standard deviation.
+func (r *RNG) Normal(mean, std float64) float64 {
+	return mean + std*r.NormFloat64()
+}
+
+// Exp draws an exponential variate with the given mean (not rate).
+func (r *RNG) Exp(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}

@@ -1,0 +1,73 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// It is the building block for probe generators and controller decision
+// loops. The callback receives the tick's virtual time.
+type Ticker struct {
+	eng    *Engine
+	period time.Duration
+	fn     func(Time)
+	ev     *Event
+	stop   bool
+	Ticks  uint64
+}
+
+// NewTicker schedules fn every period, with the first tick after one full
+// period. Period must be positive.
+func NewTicker(eng *Engine, period time.Duration, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: Ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.Ticks++
+		t.fn(t.eng.Now())
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call from inside the callback.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.eng.Cancel(t.ev)
+}
+
+// Clock is a node-local wall clock: virtual time plus a constant offset and
+// an optional linear drift. Tango's one-way-delay measurement reads the
+// sender clock when encapsulating and the receiver clock when
+// decapsulating; modelling per-node offsets lets tests verify the paper's
+// claim that a constant offset cancels out of path *comparisons*.
+type Clock struct {
+	eng    *Engine
+	offset time.Duration
+	// DriftPPM is clock drift in parts-per-million of elapsed virtual
+	// time. Zero for the experiments in the paper (constant offset).
+	driftPPM float64
+}
+
+// NewClock returns a clock reading eng.Now() + offset (+ drift).
+func NewClock(eng *Engine, offset time.Duration, driftPPM float64) *Clock {
+	return &Clock{eng: eng, offset: offset, driftPPM: driftPPM}
+}
+
+// Now returns the node-local wall-clock reading in nanoseconds.
+func (c *Clock) Now() int64 {
+	t := int64(c.eng.Now())
+	d := int64(float64(t) * c.driftPPM / 1e6)
+	return t + int64(c.offset) + d
+}
+
+// Offset returns the configured constant offset.
+func (c *Clock) Offset() time.Duration { return c.offset }

@@ -1,0 +1,161 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/sim"
+)
+
+// LineStats counts one direction of a link.
+type LineStats struct {
+	Tx      uint64
+	Rx      uint64
+	Lost    uint64
+	Dropped uint64 // queue overflow
+	Bytes   uint64
+}
+
+// Line is one direction of a Link: a delay model, an optional loss
+// process, an optional bandwidth with a bounded FIFO queue, and an
+// administrative up/down state.
+type Line struct {
+	from, to *Port
+	shaper   *Shaper
+	lossProb float64
+	// bandwidthBps of 0 means infinite (no serialization delay, no queue).
+	bandwidthBps float64
+	queueLimit   int // max packets in flight waiting for serialization
+	queued       int
+	busyUntil    sim.Time
+	down         bool
+
+	rngDelay *sim.RNG
+	rngLoss  *sim.RNG
+
+	Stats LineStats
+}
+
+// Shaper returns the mutable delay shaper for this direction; scenario
+// events use it to inject incidents.
+func (l *Line) Shaper() *Shaper { return l.shaper }
+
+// SetLoss sets the per-packet loss probability.
+func (l *Line) SetLoss(p float64) { l.lossProb = p }
+
+// Loss returns the per-packet loss probability.
+func (l *Line) Loss() float64 { return l.lossProb }
+
+// SetDown sets the administrative state; a down line drops everything.
+func (l *Line) SetDown(down bool) { l.down = down }
+
+// Down reports the administrative state.
+func (l *Line) Down() bool { return l.down }
+
+// send moves a packet across this direction of the link.
+func (l *Line) send(data []byte) {
+	eng := l.from.node.net.Eng
+	if l.down {
+		l.Stats.Dropped++
+		return
+	}
+	l.Stats.Tx++
+	l.Stats.Bytes += uint64(len(data))
+	if l.rngLoss.Bernoulli(l.lossProb) {
+		l.Stats.Lost++
+		return
+	}
+	var txDone sim.Time
+	now := eng.Now()
+	if l.bandwidthBps > 0 {
+		ser := time.Duration(float64(len(data)) * 8 / l.bandwidthBps * float64(time.Second))
+		start := now
+		if l.busyUntil > start {
+			if l.queueLimit > 0 && l.queued >= l.queueLimit {
+				l.Stats.Dropped++
+				return
+			}
+			start = l.busyUntil
+		}
+		l.busyUntil = start + ser
+		txDone = l.busyUntil
+		l.queued++
+	} else {
+		txDone = now
+	}
+	prop := l.shaper.Sample(now, l.rngDelay)
+	to := l.to
+	eng.ScheduleAt(txDone+prop, func() {
+		if l.bandwidthBps > 0 {
+			l.queued--
+		}
+		l.Stats.Rx++
+		to.node.deliverFromLink(to, data)
+	})
+}
+
+// Port is a node's attachment to one end of a link.
+type Port struct {
+	node *Node
+	link *Link
+	// out is the direction leaving this port; in the one arriving.
+	out *Line
+	in  *Line
+	idx int // port index on the node, for naming
+}
+
+// Node returns the owning node.
+func (p *Port) Node() *Node { return p.node }
+
+// Link returns the attached link.
+func (p *Port) Link() *Link { return p.link }
+
+// Peer returns the node at the other end of the link.
+func (p *Port) Peer() *Node { return p.out.to.node }
+
+// Out returns the outgoing line (for delay/loss configuration).
+func (p *Port) Out() *Line { return p.out }
+
+// In returns the incoming line.
+func (p *Port) In() *Line { return p.in }
+
+// Name returns "node:idx".
+func (p *Port) Name() string { return fmt.Sprintf("%s:%d", p.node.name, p.idx) }
+
+func (p *Port) transmit(data []byte) { p.out.send(data) }
+
+// Link is a full-duplex connection between two nodes, with an independent
+// Line per direction (the paper measures one-way behaviour precisely
+// because the two directions of a wide-area path differ).
+type Link struct {
+	name string
+	a, b *Port
+	ab   *Line // a -> b
+	ba   *Line // b -> a
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// PortA and PortB return the two attachment points.
+func (l *Link) PortA() *Port { return l.a }
+
+// PortB returns the b-side attachment point.
+func (l *Link) PortB() *Port { return l.b }
+
+// LineAB returns the a-to-b direction.
+func (l *Link) LineAB() *Line { return l.ab }
+
+// LineBA returns the b-to-a direction.
+func (l *Link) LineBA() *Line { return l.ba }
+
+// LineFrom returns the direction leaving the given node.
+func (l *Link) LineFrom(n *Node) *Line {
+	switch n {
+	case l.a.node:
+		return l.ab
+	case l.b.node:
+		return l.ba
+	}
+	panic("simnet: LineFrom with node not on link")
+}

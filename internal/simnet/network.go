@@ -1,0 +1,119 @@
+package simnet
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"tango/internal/sim"
+)
+
+// Network owns the nodes and links of one simulated internet.
+type Network struct {
+	Eng     *sim.Engine
+	Streams *sim.Streams
+
+	nodes map[string]*Node
+	links []*Link
+}
+
+// New creates an empty network over a fresh engine seeded with seed.
+func New(seed int64) *Network {
+	return &Network{
+		Eng:     sim.NewEngine(),
+		Streams: sim.NewStreams(seed),
+		nodes:   make(map[string]*Node),
+	}
+}
+
+// AddNode creates a node with the given wall-clock offset from virtual
+// time. Duplicate names panic: scenario construction bugs should be loud.
+func (w *Network) AddNode(name string, clockOffset time.Duration) *Node {
+	if _, dup := w.nodes[name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", name))
+	}
+	n := &Node{
+		name:  name,
+		net:   w,
+		clock: sim.NewClock(w.Eng, clockOffset, 0),
+		owned: make(map[netip.Addr]bool),
+	}
+	w.nodes[name] = n
+	return n
+}
+
+// Node returns the named node, or nil.
+func (w *Network) Node(name string) *Node { return w.nodes[name] }
+
+// Nodes returns all nodes sorted by name.
+func (w *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(w.nodes))
+	for _, n := range w.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Links returns all links in creation order.
+func (w *Network) Links() []*Link { return w.links }
+
+// LinkConfig parameterizes one direction of a new link.
+type LinkConfig struct {
+	Delay DelayModel
+	// Loss is the per-packet loss probability.
+	Loss float64
+	// BandwidthBps of 0 disables serialization delay and queueing.
+	BandwidthBps float64
+	// QueueLimit bounds the packets awaiting serialization (0 =
+	// unbounded); only meaningful with BandwidthBps > 0.
+	QueueLimit int
+}
+
+// Connect joins two nodes with a full-duplex link; cfgAB shapes the a-to-b
+// direction and cfgBA the reverse.
+func (w *Network) Connect(a, b *Node, cfgAB, cfgBA LinkConfig) *Link {
+	if a.net != w || b.net != w {
+		panic("simnet: Connect across networks")
+	}
+	if a == b {
+		panic("simnet: self-link")
+	}
+	name := fmt.Sprintf("%s<->%s", a.name, b.name)
+	l := &Link{name: name}
+	pa := &Port{node: a, link: l, idx: len(a.ports)}
+	pb := &Port{node: b, link: l, idx: len(b.ports)}
+	l.a, l.b = pa, pb
+	l.ab = newLine(pa, pb, cfgAB, w.Streams.Stream(name+"/ab"))
+	l.ba = newLine(pb, pa, cfgBA, w.Streams.Stream(name+"/ba"))
+	pa.out, pa.in = l.ab, l.ba
+	pb.out, pb.in = l.ba, l.ab
+	a.ports = append(a.ports, pa)
+	b.ports = append(b.ports, pb)
+	w.links = append(w.links, l)
+	return l
+}
+
+func newLine(from, to *Port, cfg LinkConfig, rng *sim.RNG) *Line {
+	dm := cfg.Delay
+	if dm == nil {
+		dm = FixedDelay(0)
+	}
+	return &Line{
+		from:         from,
+		to:           to,
+		shaper:       NewShaper(dm),
+		lossProb:     cfg.Loss,
+		bandwidthBps: cfg.BandwidthBps,
+		queueLimit:   cfg.QueueLimit,
+		rngDelay:     rng,
+		rngLoss:      rng, // same stream: loss and delay draws interleave deterministically
+	}
+}
+
+// Run advances the simulation to the given virtual time.
+func (w *Network) Run(until sim.Time) { w.Eng.Run(until) }
+
+// Now returns the current virtual time.
+func (w *Network) Now() sim.Time { return w.Eng.Now() }

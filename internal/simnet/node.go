@@ -1,0 +1,251 @@
+package simnet
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/packet"
+	"tango/internal/sim"
+)
+
+// Handler consumes packets delivered locally to a node (the destination
+// address is owned by the node). The data slice is owned by the callee.
+type Handler func(from *Port, data []byte)
+
+// NodeStats counts per-node data-plane activity.
+type NodeStats struct {
+	Sent       uint64 // packets originated here
+	Forwarded  uint64 // packets transited
+	Delivered  uint64 // packets consumed locally
+	NoRoute    uint64 // dropped: no FIB entry
+	TTLExpired uint64
+	ParseErr   uint64
+}
+
+// Node is a host or router. Routers forward by longest-prefix match over
+// the FIB; hosts additionally own addresses and consume packets via the
+// Handler. One Node typically models one AS point of presence: the paper's
+// topology has one border router per transit provider plus the two Tango
+// servers.
+type Node struct {
+	name  string
+	net   *Network
+	clock *sim.Clock
+
+	fib     addr.Trie[*RouteEntry]
+	owned   map[netip.Addr]bool
+	ports   []*Port
+	handler Handler
+
+	Stats NodeStats
+}
+
+// RouteEntry is a FIB entry: one or more equal-cost output ports. With
+// several ports the node hashes the packet's flow (ECMP) to pick one —
+// the behaviour Tango's fixed outer UDP tuple is designed to pin down.
+type RouteEntry struct {
+	Ports []*Port
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Clock returns the node's local wall clock.
+func (n *Node) Clock() *sim.Clock { return n.clock }
+
+// Network returns the owning network.
+func (n *Node) Network() *Network { return n.net }
+
+// Ports returns the node's attachment points in creation order.
+func (n *Node) Ports() []*Port { return n.ports }
+
+// SetHandler installs the local-delivery callback.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// AddAddr marks ip as owned: packets to ip are delivered locally.
+func (n *Node) AddAddr(ip netip.Addr) { n.owned[ip] = true }
+
+// OwnsAddr reports whether ip is local to this node.
+func (n *Node) OwnsAddr(ip netip.Addr) bool { return n.owned[ip] }
+
+// SetRoute installs (or replaces) a FIB route for p via the given ports.
+func (n *Node) SetRoute(p addr.Prefix, ports ...*Port) {
+	if len(ports) == 0 {
+		panic("simnet: SetRoute with no ports")
+	}
+	for _, pt := range ports {
+		if pt.node != n {
+			panic(fmt.Sprintf("simnet: route on %s via foreign port %s", n.name, pt.Name()))
+		}
+	}
+	n.fib.Insert(p, &RouteEntry{Ports: ports})
+}
+
+// DelRoute removes the FIB route for p, reporting whether it existed.
+func (n *Node) DelRoute(p addr.Prefix) bool { return n.fib.Delete(p) }
+
+// LookupRoute returns the FIB entry matching ip.
+func (n *Node) LookupRoute(ip netip.Addr) (*RouteEntry, addr.Prefix, bool) {
+	return n.fib.Lookup(ip)
+}
+
+// FIBLen returns the number of installed routes.
+func (n *Node) FIBLen() int { return n.fib.Len() }
+
+// Inject originates a packet from this node: it is routed exactly as if
+// it had arrived from a local application.
+func (n *Node) Inject(data []byte) {
+	n.Stats.Sent++
+	n.route(nil, data)
+}
+
+// deliverFromLink is called when a packet arrives on one of the node's
+// ports after traversing a link.
+func (n *Node) deliverFromLink(from *Port, data []byte) {
+	n.route(from, data)
+}
+
+// route implements the forwarding pipeline: parse destination, local
+// delivery check, TTL, LPM, ECMP port choice, transmit.
+func (n *Node) route(from *Port, data []byte) {
+	dst, hop, ok := parseForForwarding(data)
+	if !ok {
+		n.Stats.ParseErr++
+		return
+	}
+	if n.owned[dst] {
+		n.Stats.Delivered++
+		if n.handler != nil {
+			n.handler(from, data)
+		}
+		return
+	}
+	if from != nil { // transit: decrement hop limit
+		if hop <= 1 {
+			n.Stats.TTLExpired++
+			return
+		}
+		decHopLimit(data)
+		n.Stats.Forwarded++
+	}
+	ent, _, found := n.fib.Lookup(dst)
+	if !found {
+		n.Stats.NoRoute++
+		return
+	}
+	port := ent.Ports[0]
+	if len(ent.Ports) > 1 {
+		port = ent.Ports[flowHash(data)%uint32(len(ent.Ports))]
+	}
+	port.transmit(data)
+}
+
+// parseForForwarding extracts the destination address and hop limit from
+// the IP header without a full decode.
+func parseForForwarding(data []byte) (dst netip.Addr, hopLimit uint8, ok bool) {
+	if len(data) < 1 {
+		return netip.Addr{}, 0, false
+	}
+	switch data[0] >> 4 {
+	case 6:
+		if len(data) < 40 {
+			return netip.Addr{}, 0, false
+		}
+		var d [16]byte
+		copy(d[:], data[24:40])
+		return netip.AddrFrom16(d), data[7], true
+	case 4:
+		if len(data) < 20 {
+			return netip.Addr{}, 0, false
+		}
+		return netip.AddrFrom4([4]byte(data[16:20])), data[8], true
+	}
+	return netip.Addr{}, 0, false
+}
+
+func decHopLimit(data []byte) {
+	switch data[0] >> 4 {
+	case 6:
+		data[7]--
+	case 4:
+		data[8]--
+		// A real router would also update the header checksum
+		// incrementally (RFC 1624); do the same so receivers that
+		// verify checksums keep working.
+		fixIPv4Checksum(data)
+	}
+}
+
+func fixIPv4Checksum(data []byte) {
+	ihl := int(data[0]&0x0f) * 4
+	if len(data) < ihl {
+		return
+	}
+	data[10], data[11] = 0, 0
+	c := ipv4HeaderChecksum(data[:ihl])
+	data[10] = byte(c >> 8)
+	data[11] = byte(c)
+}
+
+func ipv4HeaderChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// flowHash hashes the packet's 5-tuple-ish bytes (IP src/dst + first 4
+// transport bytes, i.e. the ports) the way a core router's ECMP stage
+// does. Same flow, same hash, same path — unless intermediate headers
+// vary, which is exactly the measurement hazard the paper's outer UDP
+// encapsulation eliminates.
+func flowHash(data []byte) uint32 {
+	var h uint32 = 2166136261
+	mix := func(b []byte) {
+		for _, v := range b {
+			h ^= uint32(v)
+			h *= 16777619
+		}
+	}
+	switch data[0] >> 4 {
+	case 6:
+		if len(data) < 48 {
+			return h
+		}
+		mix(data[8:40])  // src+dst
+		mix(data[40:44]) // transport ports
+	case 4:
+		if len(data) < 24 {
+			return h
+		}
+		mix(data[12:20])
+		mix(data[20:24])
+	}
+	return h
+}
+
+// LocalOut builds a convenience sender bound to this node: it serializes
+// the given layers into a fresh buffer and injects the result. Intended
+// for tests and simple workloads; the Tango data plane manages its own
+// buffers.
+func (n *Node) LocalOut(layers ...packet.SerializableLayer) error {
+	buf := packet.NewSerializeBuffer()
+	if err := packet.SerializeLayers(buf, layers...); err != nil {
+		return err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	n.Inject(out)
+	return nil
+}
+
+// Schedule is a convenience for scheduling node-scoped work.
+func (n *Node) Schedule(d time.Duration, fn func()) *sim.Event {
+	return n.net.Eng.Schedule(d, fn)
+}

@@ -1,0 +1,478 @@
+package simnet
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/packet"
+	"tango/internal/sim"
+)
+
+// mkPkt builds a minimal IPv6 packet from src to dst with the given hop
+// limit and ports.
+func mkPkt(t *testing.T, src, dst string, hop uint8, sport, dport uint16) []byte {
+	t.Helper()
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload([]byte("test-payload"))
+	udp := &packet.UDP{SrcPort: sport, DstPort: dport}
+	ip := &packet.IPv6{
+		NextHeader: packet.ProtoUDP,
+		HopLimit:   hop,
+		Src:        netip.MustParseAddr(src),
+		Dst:        netip.MustParseAddr(dst),
+	}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}
+
+func TestDirectDelivery(t *testing.T) {
+	w := New(1)
+	a := w.AddNode("a", 0)
+	b := w.AddNode("b", 0)
+	w.Connect(a, b, LinkConfig{Delay: FixedDelay(10 * time.Millisecond)}, LinkConfig{Delay: FixedDelay(10 * time.Millisecond)})
+
+	dstIP := netip.MustParseAddr("2001:db8::b")
+	b.AddAddr(dstIP)
+	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
+
+	var gotAt sim.Time
+	var got []byte
+	b.SetHandler(func(from *Port, data []byte) {
+		gotAt = w.Now()
+		got = data
+	})
+
+	a.Inject(mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2))
+	w.Run(time.Second)
+
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if gotAt != 10*time.Millisecond {
+		t.Fatalf("delivered at %v, want 10ms", gotAt)
+	}
+	if a.Stats.Sent != 1 || b.Stats.Delivered != 1 {
+		t.Fatalf("stats: sent=%d delivered=%d", a.Stats.Sent, b.Stats.Delivered)
+	}
+}
+
+func TestMultiHopForwardingAndTTL(t *testing.T) {
+	w := New(1)
+	a := w.AddNode("a", 0)
+	r := w.AddNode("r", 0)
+	b := w.AddNode("b", 0)
+	cfg := LinkConfig{Delay: FixedDelay(5 * time.Millisecond)}
+	w.Connect(a, r, cfg, cfg)
+	w.Connect(r, b, cfg, cfg)
+
+	dst := addr.MustParsePrefix("2001:db8:b::/48")
+	b.AddAddr(netip.MustParseAddr("2001:db8:b::1"))
+	a.SetRoute(dst, a.Ports()[0])
+	r.SetRoute(dst, r.Ports()[1])
+
+	delivered := 0
+	var hopAtDelivery uint8
+	b.SetHandler(func(_ *Port, data []byte) {
+		delivered++
+		hopAtDelivery = data[7]
+	})
+
+	a.Inject(mkPkt(t, "2001:db8:a::1", "2001:db8:b::1", 64, 1, 2))
+	w.Run(time.Second)
+	if delivered != 1 {
+		t.Fatal("multi-hop packet not delivered")
+	}
+	if r.Stats.Forwarded != 1 {
+		t.Fatalf("router forwarded = %d", r.Stats.Forwarded)
+	}
+	if hopAtDelivery != 63 {
+		t.Fatalf("hop limit at delivery = %d, want 63", hopAtDelivery)
+	}
+
+	// TTL expiry: hop limit 1 dies at the router.
+	delivered = 0
+	a.Inject(mkPkt(t, "2001:db8:a::1", "2001:db8:b::1", 1, 1, 2))
+	w.Run(2 * time.Second)
+	if delivered != 0 {
+		t.Fatal("expired packet delivered")
+	}
+	if r.Stats.TTLExpired != 1 {
+		t.Fatalf("TTLExpired = %d", r.Stats.TTLExpired)
+	}
+}
+
+func TestNoRouteDrop(t *testing.T) {
+	w := New(1)
+	a := w.AddNode("a", 0)
+	a.Inject(mkPkt(t, "2001:db8::1", "2001:db8::2", 64, 1, 2))
+	w.Run(time.Second)
+	if a.Stats.NoRoute != 1 {
+		t.Fatalf("NoRoute = %d", a.Stats.NoRoute)
+	}
+}
+
+func TestParseErrDrop(t *testing.T) {
+	w := New(1)
+	a := w.AddNode("a", 0)
+	a.Inject([]byte{0xff, 0x00})
+	a.Inject(nil)
+	w.Run(time.Second)
+	if a.Stats.ParseErr != 2 {
+		t.Fatalf("ParseErr = %d", a.Stats.ParseErr)
+	}
+}
+
+func TestLoss(t *testing.T) {
+	w := New(7)
+	a := w.AddNode("a", 0)
+	b := w.AddNode("b", 0)
+	w.Connect(a, b,
+		LinkConfig{Delay: FixedDelay(time.Millisecond), Loss: 0.5},
+		LinkConfig{Delay: FixedDelay(time.Millisecond)})
+	dst := netip.MustParseAddr("2001:db8::b")
+	b.AddAddr(dst)
+	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
+	got := 0
+	b.SetHandler(func(*Port, []byte) { got++ })
+
+	const n = 2000
+	for i := 0; i < n; i++ {
+		a.Inject(mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2))
+	}
+	w.Run(time.Second)
+	line := w.Links()[0].LineAB()
+	if line.Stats.Lost+uint64(got) != n {
+		t.Fatalf("lost %d + delivered %d != %d", line.Stats.Lost, got, n)
+	}
+	frac := float64(got) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("delivery fraction %.3f with 50%% loss", frac)
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	w := New(1)
+	a := w.AddNode("a", 0)
+	b := w.AddNode("b", 0)
+	l := w.Connect(a, b, LinkConfig{}, LinkConfig{})
+	dst := netip.MustParseAddr("2001:db8::b")
+	b.AddAddr(dst)
+	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
+	got := 0
+	b.SetHandler(func(*Port, []byte) { got++ })
+
+	l.LineAB().SetDown(true)
+	a.Inject(mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2))
+	w.Run(time.Second)
+	if got != 0 || l.LineAB().Stats.Dropped != 1 {
+		t.Fatalf("down line delivered: got=%d dropped=%d", got, l.LineAB().Stats.Dropped)
+	}
+	if !l.LineAB().Down() {
+		t.Fatal("Down() false")
+	}
+	l.LineAB().SetDown(false)
+	a.Inject(mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2))
+	w.Run(2 * time.Second)
+	if got != 1 {
+		t.Fatal("restored line did not deliver")
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	w := New(1)
+	a := w.AddNode("a", 0)
+	b := w.AddNode("b", 0)
+	// 8000 bits/s: a 100-byte packet takes 100ms to serialize.
+	w.Connect(a, b, LinkConfig{BandwidthBps: 8000}, LinkConfig{})
+	dst := netip.MustParseAddr("2001:db8::b")
+	b.AddAddr(dst)
+	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
+	var times []sim.Time
+	b.SetHandler(func(*Port, []byte) { times = append(times, w.Now()) })
+
+	pkt := mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2)
+	if len(pkt) != 60 { // 40 IPv6 + 8 UDP + 12 payload
+		t.Fatalf("test packet length %d", len(pkt))
+	}
+	// 60 bytes at 8000bps = 60ms each; two back-to-back packets queue.
+	a.Inject(pkt)
+	a.Inject(append([]byte{}, pkt...))
+	w.Run(time.Second)
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if times[0] != 60*time.Millisecond || times[1] != 120*time.Millisecond {
+		t.Fatalf("delivery times %v, want [60ms 120ms]", times)
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	w := New(1)
+	a := w.AddNode("a", 0)
+	b := w.AddNode("b", 0)
+	w.Connect(a, b, LinkConfig{BandwidthBps: 8000, QueueLimit: 2}, LinkConfig{})
+	dst := netip.MustParseAddr("2001:db8::b")
+	b.AddAddr(dst)
+	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
+	got := 0
+	b.SetHandler(func(*Port, []byte) { got++ })
+
+	for i := 0; i < 10; i++ {
+		a.Inject(mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2))
+	}
+	w.Run(10 * time.Second)
+	line := w.Links()[0].LineAB()
+	if line.Stats.Dropped == 0 {
+		t.Fatal("no queue drops with limit 2")
+	}
+	if got+int(line.Stats.Dropped) != 10 {
+		t.Fatalf("delivered %d + dropped %d != 10", got, line.Stats.Dropped)
+	}
+}
+
+func TestECMPPinsFlows(t *testing.T) {
+	// a has two equal-cost ports toward b's prefix (via r1 and r2).
+	w := New(3)
+	a := w.AddNode("a", 0)
+	r1 := w.AddNode("r1", 0)
+	r2 := w.AddNode("r2", 0)
+	b := w.AddNode("b", 0)
+	cfg := LinkConfig{Delay: FixedDelay(time.Millisecond)}
+	w.Connect(a, r1, cfg, cfg)
+	w.Connect(a, r2, cfg, cfg)
+	w.Connect(r1, b, cfg, cfg)
+	w.Connect(r2, b, cfg, cfg)
+
+	dst := addr.MustParsePrefix("2001:db8:b::/48")
+	b.AddAddr(netip.MustParseAddr("2001:db8:b::1"))
+	a.SetRoute(dst, a.Ports()[0], a.Ports()[1])
+	r1.SetRoute(dst, r1.Ports()[1])
+	r2.SetRoute(dst, r2.Ports()[1])
+	got := 0
+	b.SetHandler(func(*Port, []byte) { got++ })
+
+	// Same flow always takes the same router.
+	for i := 0; i < 50; i++ {
+		a.Inject(mkPkt(t, "2001:db8:a::1", "2001:db8:b::1", 64, 5000, 6000))
+	}
+	w.Run(time.Second)
+	if got != 50 {
+		t.Fatalf("delivered %d/50", got)
+	}
+	f1, f2 := r1.Stats.Forwarded, r2.Stats.Forwarded
+	if !(f1 == 50 && f2 == 0) && !(f1 == 0 && f2 == 50) {
+		t.Fatalf("single flow split across ECMP: r1=%d r2=%d", f1, f2)
+	}
+
+	// Varying source ports spread across both routers.
+	for i := 0; i < 200; i++ {
+		a.Inject(mkPkt(t, "2001:db8:a::1", "2001:db8:b::1", 64, uint16(1000+i), 6000))
+	}
+	w.Run(2 * time.Second)
+	f1, f2 = r1.Stats.Forwarded, r2.Stats.Forwarded
+	if f1 == 0 || f2 == 0 {
+		t.Fatalf("ECMP did not spread flows: r1=%d r2=%d", f1, f2)
+	}
+}
+
+func TestGaussianDelayStats(t *testing.T) {
+	rng := sim.NewStreams(1).Stream("g")
+	d := GaussianDelay{Floor: 28 * time.Millisecond, Mean: 30 * time.Millisecond, Std: time.Millisecond}
+	var sum time.Duration
+	minSeen := time.Hour
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(0, rng)
+		if v < minSeen {
+			minSeen = v
+		}
+		sum += v
+	}
+	if minSeen < 28*time.Millisecond {
+		t.Fatalf("sample below floor: %v", minSeen)
+	}
+	mean := sum / 10000
+	if mean < 29*time.Millisecond || mean > 31*time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestSpikeDelay(t *testing.T) {
+	rng := sim.NewStreams(2).Stream("s")
+	base := FixedDelay(28 * time.Millisecond)
+	d := SpikeDelay{Base: base, Prob: 0.1, Mean: 20 * time.Millisecond, Cap: 50 * time.Millisecond}
+	spikes := 0
+	maxSeen := time.Duration(0)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(0, rng)
+		if v > 28*time.Millisecond {
+			spikes++
+		}
+		if v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if spikes < 800 || spikes > 1200 {
+		t.Fatalf("spike count %d for p=0.1", spikes)
+	}
+	if maxSeen > 78*time.Millisecond {
+		t.Fatalf("spike exceeded cap: %v", maxSeen)
+	}
+	if maxSeen < 40*time.Millisecond {
+		t.Fatalf("max spike only %v; tail too light", maxSeen)
+	}
+}
+
+func TestShaper(t *testing.T) {
+	rng := sim.NewStreams(1).Stream("sh")
+	s := NewShaper(FixedDelay(10 * time.Millisecond))
+	if s.Sample(0, rng) != 10*time.Millisecond {
+		t.Fatal("pass-through broken")
+	}
+	s.SetOffset(5 * time.Millisecond)
+	if s.Sample(0, rng) != 15*time.Millisecond {
+		t.Fatal("offset not applied")
+	}
+	if s.Offset() != 5*time.Millisecond {
+		t.Fatal("Offset getter")
+	}
+	s.SetOverlay(FixedDelay(40 * time.Millisecond))
+	if s.Sample(0, rng) != 45*time.Millisecond {
+		t.Fatal("overlay + offset not applied")
+	}
+	s.SetOverlay(nil)
+	s.SetOffset(0)
+	if s.Sample(0, rng) != 10*time.Millisecond {
+		t.Fatal("restore broken")
+	}
+	if _, ok := s.Base().(FixedDelay); !ok {
+		t.Fatal("Base lost")
+	}
+}
+
+func TestIPv4ForwardingChecksumRepair(t *testing.T) {
+	w := New(1)
+	a := w.AddNode("a", 0)
+	r := w.AddNode("r", 0)
+	b := w.AddNode("b", 0)
+	cfg := LinkConfig{Delay: FixedDelay(time.Millisecond)}
+	w.Connect(a, r, cfg, cfg)
+	w.Connect(r, b, cfg, cfg)
+
+	dst := addr.MustParsePrefix("10.2.0.0/16")
+	b.AddAddr(netip.MustParseAddr("10.2.0.1"))
+	a.SetRoute(dst, a.Ports()[0])
+	r.SetRoute(dst, r.Ports()[1])
+
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload([]byte("v4"))
+	ip := &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP,
+		Src: netip.MustParseAddr("10.1.0.1"), Dst: netip.MustParseAddr("10.2.0.1")}
+	udp := &packet.UDP{SrcPort: 1, DstPort: 2}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, buf.Len())
+	copy(raw, buf.Bytes())
+
+	var delivered []byte
+	b.SetHandler(func(_ *Port, data []byte) { delivered = data })
+	a.Inject(raw)
+	w.Run(time.Second)
+	if delivered == nil {
+		t.Fatal("v4 packet not delivered")
+	}
+	var dec packet.IPv4
+	if err := dec.DecodeFromBytes(delivered); err != nil {
+		t.Fatalf("checksum not repaired after TTL decrement: %v", err)
+	}
+	if dec.TTL != 63 {
+		t.Fatalf("TTL = %d", dec.TTL)
+	}
+}
+
+func TestNodesSortedAndLookups(t *testing.T) {
+	w := New(1)
+	w.AddNode("zeta", 0)
+	w.AddNode("alpha", 0)
+	ns := w.Nodes()
+	if len(ns) != 2 || ns[0].Name() != "alpha" || ns[1].Name() != "zeta" {
+		t.Fatalf("Nodes() = %v", ns)
+	}
+	if w.Node("alpha") == nil || w.Node("missing") != nil {
+		t.Fatal("Node lookup broken")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	w := New(1)
+	w.AddNode("a", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node did not panic")
+		}
+	}()
+	w.AddNode("a", 0)
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (uint64, sim.Time) {
+		w := New(99)
+		a := w.AddNode("a", 0)
+		b := w.AddNode("b", 0)
+		w.Connect(a, b,
+			LinkConfig{Delay: GaussianDelay{Floor: 10 * time.Millisecond, Mean: 12 * time.Millisecond, Std: 2 * time.Millisecond}, Loss: 0.1},
+			LinkConfig{})
+		dst := netip.MustParseAddr("2001:db8::b")
+		b.AddAddr(dst)
+		a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
+		var lastAt sim.Time
+		b.SetHandler(func(*Port, []byte) { lastAt = w.Now() })
+		for i := 0; i < 500; i++ {
+			pkt := mkPkt(t, "2001:db8::a", "2001:db8::b", 64, uint16(i), 2)
+			w.Eng.Schedule(time.Duration(i)*time.Millisecond, func() { a.Inject(pkt) })
+		}
+		w.Run(10 * time.Second)
+		return b.Stats.Delivered, lastAt
+	}
+	d1, t1 := run()
+	d2, t2 := run()
+	if d1 != d2 || t1 != t2 {
+		t.Fatalf("replay diverged: (%d,%v) vs (%d,%v)", d1, t1, d2, t2)
+	}
+	if d1 == 0 || d1 == 500 {
+		t.Fatalf("loss process degenerate: delivered %d/500", d1)
+	}
+}
+
+func TestLineFromAndPortAccessors(t *testing.T) {
+	w := New(1)
+	a := w.AddNode("a", 0)
+	b := w.AddNode("b", 0)
+	l := w.Connect(a, b, LinkConfig{}, LinkConfig{})
+	if l.LineFrom(a) != l.LineAB() || l.LineFrom(b) != l.LineBA() {
+		t.Fatal("LineFrom wrong")
+	}
+	pa := l.PortA()
+	if pa.Node() != a || pa.Peer() != b || pa.Link() != l {
+		t.Fatal("port accessors wrong")
+	}
+	if pa.Out() != l.LineAB() || pa.In() != l.LineBA() {
+		t.Fatal("port line accessors wrong")
+	}
+	if pa.Name() != "a:0" {
+		t.Fatalf("port name %q", pa.Name())
+	}
+	c := w.AddNode("c", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LineFrom foreign node did not panic")
+		}
+	}()
+	l.LineFrom(c)
+}

@@ -1,0 +1,215 @@
+// Package topo assembles simulated internets: it couples a BGP speaker to
+// a forwarding node per AS, wires inter-AS links carrying both the data
+// plane (simnet) and the control plane (bgp sessions), and keeps each
+// node's FIB synchronized with its speaker's best routes.
+package topo
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/bgp"
+	"tango/internal/sim"
+	"tango/internal/simnet"
+)
+
+// AS is one autonomous system's point of presence: a forwarding node and
+// a BGP speaker whose decisions program the node's FIB.
+type AS struct {
+	Name    string
+	ASN     bgp.ASN
+	Node    *simnet.Node
+	Speaker *bgp.Speaker
+
+	nhPort map[netip.Addr]*simnet.Port
+}
+
+// portFor resolves a BGP next hop to the output port toward that neighbor.
+func (a *AS) portFor(nh netip.Addr) (*simnet.Port, bool) {
+	p, ok := a.nhPort[nh]
+	return p, ok
+}
+
+// Builder constructs a topology over one network/engine.
+type Builder struct {
+	W       *simnet.Network
+	ases    map[string]*AS
+	linkSeq int
+}
+
+// NewBuilder creates a builder over a fresh network seeded with seed.
+func NewBuilder(seed int64) *Builder {
+	return &Builder{W: simnet.New(seed), ases: make(map[string]*AS)}
+}
+
+// Eng returns the underlying engine.
+func (b *Builder) Eng() *sim.Engine { return b.W.Eng }
+
+// AS returns the named AS, or nil.
+func (b *Builder) AS(name string) *AS { return b.ases[name] }
+
+// AddAS creates an AS with the given clock offset on its node.
+func (b *Builder) AddAS(name string, asn bgp.ASN, routerID uint32, clockOffset time.Duration) *AS {
+	n := b.W.AddNode(name, clockOffset)
+	sp := bgp.NewSpeaker(b.W.Eng, name, asn, routerID)
+	a := &AS{Name: name, ASN: asn, Node: n, Speaker: sp, nhPort: make(map[netip.Addr]*simnet.Port)}
+	sp.OnBestChange = func(p addr.Prefix, best, old *bgp.Route) {
+		a.applyBest(p, best)
+	}
+	b.ases[name] = a
+	return a
+}
+
+func (a *AS) applyBest(p addr.Prefix, best *bgp.Route) {
+	if best == nil {
+		a.Node.DelRoute(p)
+		return
+	}
+	if best.FromSession == nil {
+		// Locally originated: traffic for it is delivered locally
+		// (tunnel endpoints are owned addresses), no FIB entry needed.
+		return
+	}
+	port, ok := a.portFor(best.NextHop)
+	if !ok {
+		panic(fmt.Sprintf("topo: %s has no port toward next hop %v", a.Name, best.NextHop))
+	}
+	a.Node.SetRoute(p, port)
+}
+
+// WireOpts configures one inter-AS adjacency.
+type WireOpts struct {
+	// RelAB is what B is to A (e.g. RelProvider: B provides transit to
+	// A). The reverse relation is derived.
+	RelAB bgp.Relation
+	// DelayAB/DelayBA are the data-plane one-way delay models; nil
+	// means a fixed 1 ms.
+	DelayAB, DelayBA simnet.DelayModel
+	// LossAB/LossBA are per-packet loss probabilities.
+	LossAB, LossBA float64
+	// SessionDelay is the one-way control-plane message delay
+	// (defaults to 10 ms).
+	SessionDelay time.Duration
+	// MRAI paces UPDATEs on both sides (defaults to 5 s — short enough
+	// to keep discovery experiments brisk, long enough to batch).
+	MRAI time.Duration
+	// HoldTime enables liveness detection on both sides when positive.
+	HoldTime time.Duration
+	// StripPrivateA2B strips private ASNs when A exports to B (and
+	// B2A for the reverse): set on a provider's sessions toward the
+	// core when the customer announces from a private ASN.
+	StripPrivateA2B, StripPrivateB2A bool
+	// ScrubA2B removes A's action communities when exporting to B
+	// (after applying them), so operator knobs stay inside the
+	// provider that offers them; ScrubB2A the reverse.
+	ScrubA2B, ScrubB2A bool
+	// AllowOwnASA / AllowOwnASB enable allowas-in on A's (resp. B's)
+	// side of the session.
+	AllowOwnASA, AllowOwnASB bool
+	// ImportA runs on routes A learns from B; ImportB the reverse.
+	ImportA, ImportB func(*bgp.Route) *bgp.Route
+	// LinkPrefix, when valid, addresses the two session endpoints from
+	// its ::1 and ::2; otherwise a unique link /64 is synthesized from
+	// an internal counter under 2001:db8:fe00::/40.
+	LinkPrefix addr.Prefix
+}
+
+// Wire links two ASes in both planes and returns the created link and the
+// two sessions (A-side first).
+func (b *Builder) Wire(x, y *AS, o WireOpts) (*simnet.Link, *bgp.Session, *bgp.Session) {
+	if o.DelayAB == nil {
+		o.DelayAB = simnet.FixedDelay(time.Millisecond)
+	}
+	if o.DelayBA == nil {
+		o.DelayBA = simnet.FixedDelay(time.Millisecond)
+	}
+	if o.SessionDelay == 0 {
+		o.SessionDelay = 10 * time.Millisecond
+	}
+	if o.MRAI == 0 {
+		o.MRAI = 5 * time.Second
+	}
+	link := b.W.Connect(x.Node, y.Node,
+		simnet.LinkConfig{Delay: o.DelayAB, Loss: o.LossAB},
+		simnet.LinkConfig{Delay: o.DelayBA, Loss: o.LossBA})
+
+	lp := o.LinkPrefix
+	if !lp.IsValid() {
+		base := addr.MustParsePrefix("2001:db8:fe00::/40")
+		var err error
+		lp, err = base.Subnet(64, b.linkSeq)
+		if err != nil {
+			panic(err)
+		}
+		b.linkSeq++
+	}
+	ipX := mustHost(lp, 1)
+	ipY := mustHost(lp, 2)
+	x.Node.AddAddr(ipX)
+	y.Node.AddAddr(ipY)
+	x.nhPort[ipY] = link.PortA()
+	y.nhPort[ipX] = link.PortB()
+
+	relBA := invert(o.RelAB)
+	cfgX := bgp.SessionConfig{
+		Relation:               o.RelAB,
+		LocalAddr:              ipX,
+		Delay:                  o.SessionDelay,
+		MRAI:                   o.MRAI,
+		HoldTime:               o.HoldTime,
+		StripPrivateASNs:       o.StripPrivateA2B,
+		ScrubActionCommunities: o.ScrubA2B,
+		AllowOwnAS:             o.AllowOwnASA,
+		Import:                 o.ImportA,
+	}
+	cfgY := bgp.SessionConfig{
+		Relation:               relBA,
+		LocalAddr:              ipY,
+		Delay:                  o.SessionDelay,
+		MRAI:                   o.MRAI,
+		HoldTime:               o.HoldTime,
+		StripPrivateASNs:       o.StripPrivateB2A,
+		ScrubActionCommunities: o.ScrubB2A,
+		AllowOwnAS:             o.AllowOwnASB,
+		Import:                 o.ImportB,
+	}
+	sx, sy := bgp.Connect(x.Speaker, y.Speaker, cfgX, cfgY)
+	return link, sx, sy
+}
+
+func invert(r bgp.Relation) bgp.Relation {
+	switch r {
+	case bgp.RelCustomer:
+		return bgp.RelProvider
+	case bgp.RelProvider:
+		return bgp.RelCustomer
+	default:
+		return bgp.RelPeer
+	}
+}
+
+func mustHost(p addr.Prefix, i uint64) netip.Addr {
+	ip, err := p.Host(i)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// DefaultRoute installs a static default route from a toward its neighbor
+// on the given link (used by single-homed edges).
+func DefaultRoute(a *AS, link *simnet.Link) {
+	var port *simnet.Port
+	switch a.Node {
+	case link.PortA().Node():
+		port = link.PortA()
+	case link.PortB().Node():
+		port = link.PortB()
+	default:
+		panic("topo: DefaultRoute with link not attached to AS")
+	}
+	a.Node.SetRoute(addr.MustParsePrefix("::/0"), port)
+	a.Node.SetRoute(addr.MustParsePrefix("0.0.0.0/0"), port)
+}

@@ -1,0 +1,217 @@
+package topo
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/bgp"
+	"tango/internal/packet"
+	"tango/internal/simnet"
+)
+
+func converge(s *Scenario) { s.Run(5 * time.Minute) }
+
+func TestScenarioConverges(t *testing.T) {
+	s := NewVultrScenario(ScenarioConfig{Seed: 1})
+	converge(s)
+
+	// Each edge learns the other's host prefix.
+	bestAtLA := s.EdgeLA.Speaker.Best(s.HostNY)
+	if bestAtLA == nil {
+		t.Fatal("LA edge has no route to NY host prefix")
+	}
+	bestAtNY := s.EdgeNY.Speaker.Best(s.HostLA)
+	if bestAtNY == nil {
+		t.Fatal("NY edge has no route to LA host prefix")
+	}
+	// The default path runs through NTT (Vultr's most-preferred
+	// transit), as in the paper.
+	if got := ProviderNameForPath(bestAtLA.Path); got != "NTT" {
+		t.Fatalf("LA default path via %s (path %v), want NTT", got, bestAtLA.Path)
+	}
+	if got := ProviderNameForPath(bestAtNY.Path); got != "NTT" {
+		t.Fatalf("NY default path via %s (path %v), want NTT", got, bestAtNY.Path)
+	}
+	// Full AS path shape: [20473 2914 20473] after private-ASN strip.
+	want := bgp.Path{bgp.ASVultr, bgp.ASNTT, bgp.ASVultr}
+	if !bestAtLA.Path.Equal(want) {
+		t.Fatalf("path = %v, want %v", bestAtLA.Path, want)
+	}
+}
+
+func TestScenarioDataPlaneDefaultPath(t *testing.T) {
+	s := NewVultrScenario(ScenarioConfig{Seed: 2})
+	converge(s)
+
+	// Send a packet from the NY edge to an address in LA's host
+	// prefix; it must arrive via NTT with roughly the NTT one-way
+	// delay.
+	dst, err := s.HostLA.Host(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EdgeLA.Node.AddAddr(dst)
+	var arrived simnet.NodeStats
+	_ = arrived
+	gotAt := time.Duration(-1)
+	start := s.B.W.Now()
+	s.EdgeLA.Node.SetHandler(func(_ *simnet.Port, data []byte) {
+		gotAt = time.Duration(s.B.W.Now() - start)
+	})
+
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload([]byte("baseline"))
+	udp := &packet.UDP{SrcPort: 1, DstPort: 2}
+	src, _ := s.HostNY.Host(1)
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, buf.Len())
+	copy(raw, buf.Bytes())
+	s.EdgeNY.Node.Inject(raw)
+	s.Run(time.Second)
+
+	if gotAt < 0 {
+		t.Fatal("packet did not arrive")
+	}
+	// NTT trunk ~36.6ms plus sub-ms access/DC links.
+	if gotAt < 36*time.Millisecond || gotAt > 38*time.Millisecond {
+		t.Fatalf("NY->LA delay via default = %v, want ~36.7ms (NTT)", gotAt)
+	}
+	// NTT transited the packet.
+	if s.NTT.Node.Stats.Forwarded == 0 {
+		t.Fatal("NTT did not forward the packet")
+	}
+}
+
+func TestScenarioSuppressionExposesAlternatePaths(t *testing.T) {
+	s := NewVultrScenario(ScenarioConfig{Seed: 3})
+	converge(s)
+
+	probe := addr.MustParsePrefix("2001:db8:111::/48")
+	// NY announces; LA observes — this is one round of the discovery
+	// loop done by hand, for each successive suppression set.
+	steps := []struct {
+		suppress []bgp.Community
+		want     string
+	}{
+		{nil, "NTT"},
+		{[]bgp.Community{bgp.NoExportTo(bgp.ASNTT)}, "Telia"},
+		{[]bgp.Community{bgp.NoExportTo(bgp.ASNTT), bgp.NoExportTo(bgp.ASTelia)}, "GTT"},
+		{[]bgp.Community{bgp.NoExportTo(bgp.ASNTT), bgp.NoExportTo(bgp.ASTelia), bgp.NoExportTo(bgp.ASGTT)}, "Cogent"},
+	}
+	for _, step := range steps {
+		s.EdgeNY.Speaker.Originate(probe, step.suppress...)
+		s.Run(3 * time.Minute)
+		best := s.EdgeLA.Speaker.Best(probe)
+		if best == nil {
+			t.Fatalf("no route with suppression %v", step.suppress)
+		}
+		if got := ProviderNameForPath(best.Path); got != step.want {
+			t.Fatalf("suppression %v -> path via %s (%v), want %s",
+				step.suppress, got, best.Path, step.want)
+		}
+	}
+
+	// Suppressing all four kills reachability (termination condition).
+	s.EdgeNY.Speaker.Originate(probe,
+		bgp.NoExportTo(bgp.ASNTT), bgp.NoExportTo(bgp.ASTelia),
+		bgp.NoExportTo(bgp.ASGTT), bgp.NoExportTo(bgp.ASCogent))
+	s.Run(3 * time.Minute)
+	if best := s.EdgeLA.Speaker.Best(probe); best != nil {
+		t.Fatalf("still reachable via %v with all transits suppressed", best.Path)
+	}
+}
+
+func TestScenarioReversePathsIncludeLevel3(t *testing.T) {
+	s := NewVultrScenario(ScenarioConfig{Seed: 4})
+	converge(s)
+
+	probe := addr.MustParsePrefix("2001:db8:222::/48")
+	s.EdgeLA.Speaker.Originate(probe,
+		bgp.NoExportTo(bgp.ASNTT), bgp.NoExportTo(bgp.ASTelia), bgp.NoExportTo(bgp.ASGTT))
+	s.Run(3 * time.Minute)
+	best := s.EdgeNY.Speaker.Best(probe)
+	if best == nil {
+		t.Fatal("no route with NTT/Telia/GTT suppressed")
+	}
+	if got := ProviderNameForPath(best.Path); got != "Level3" {
+		t.Fatalf("NY->LA 4th path via %s (%v), want Level3", got, best.Path)
+	}
+}
+
+func TestScenarioClockOffsets(t *testing.T) {
+	s := NewVultrScenario(ScenarioConfig{Seed: 5})
+	offNY := s.EdgeNY.Node.Clock().Offset()
+	offLA := s.EdgeLA.Node.Clock().Offset()
+	if offNY == offLA {
+		t.Fatal("edge clocks are synchronized; scenario must model skew")
+	}
+	s2 := NewVultrScenario(ScenarioConfig{Seed: 5, ClockOffsetNY: time.Second, ClockOffsetLA: 2 * time.Second})
+	if s2.EdgeNY.Node.Clock().Offset() != time.Second {
+		t.Fatal("clock offset override ignored")
+	}
+}
+
+func TestProviderNameForPath(t *testing.T) {
+	cases := []struct {
+		path bgp.Path
+		want string
+	}{
+		{bgp.Path{bgp.ASVultr, bgp.ASNTT, bgp.ASVultr}, "NTT"},
+		{bgp.Path{bgp.ASVultr, bgp.ASNTT, bgp.ASCogent, bgp.ASVultr}, "Cogent"},
+		{bgp.Path{bgp.ASGTT, bgp.ASVultr}, "GTT"},
+		{bgp.Path{bgp.ASVultr, bgp.ASLevel3, bgp.ASVultr}, "Level3"},
+		{bgp.Path{bgp.ASVultr, 9999, bgp.ASVultr}, "AS9999"},
+		{bgp.Path{}, "direct"},
+	}
+	for _, c := range cases {
+		if got := ProviderNameForPath(c.path); got != c.want {
+			t.Fatalf("ProviderNameForPath(%v) = %s, want %s", c.path, got, c.want)
+		}
+	}
+}
+
+func TestTrunkHandles(t *testing.T) {
+	s := NewVultrScenario(ScenarioConfig{Seed: 6})
+	for _, name := range []string{"NTT", "Telia", "GTT", "Level3"} {
+		if s.TrunkToLA[name] == nil {
+			t.Fatalf("TrunkToLA[%s] missing", name)
+		}
+	}
+	for _, name := range []string{"NTT", "Telia", "GTT", "Cogent"} {
+		if s.TrunkToNY[name] == nil {
+			t.Fatalf("TrunkToNY[%s] missing", name)
+		}
+	}
+	// The shapers must actually steer the right direction: raise GTT's
+	// NY->LA trunk and verify a NY->LA packet over GTT slows down.
+	s.TrunkToLA["GTT"].Shaper().SetOffset(100 * time.Millisecond)
+	if s.TrunkToLA["GTT"].Shaper().Offset() != 100*time.Millisecond {
+		t.Fatal("shaper offset not applied")
+	}
+}
+
+func TestWireDefaultsAndDefaultRoute(t *testing.T) {
+	b := NewBuilder(7)
+	x := b.AddAS("x", 1, 1, 0)
+	y := b.AddAS("y", 2, 2, 0)
+	link, sx, sy := b.Wire(x, y, WireOpts{RelAB: bgp.RelPeer})
+	if sx.Relation() != bgp.RelPeer || sy.Relation() != bgp.RelPeer {
+		t.Fatal("peer relation not symmetric")
+	}
+	DefaultRoute(x, link)
+	if _, _, ok := x.Node.LookupRoute(netip.MustParseAddr("2001:db8::1")); !ok {
+		t.Fatal("default route missing")
+	}
+	b.Eng().Run(10 * time.Second)
+	if sx.State() != bgp.StateEstablished {
+		t.Fatalf("session state %v", sx.State())
+	}
+	if b.AS("x") != x || b.AS("nope") != nil {
+		t.Fatal("AS lookup broken")
+	}
+}

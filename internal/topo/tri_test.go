@@ -1,0 +1,99 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/bgp"
+	"tango/internal/control"
+)
+
+func TestTriScenarioStructure(t *testing.T) {
+	s := NewTriScenario(1)
+	if len(s.POPs) != 3 || len(s.Providers) != 3 || len(s.Edges) != 6 {
+		t.Fatalf("structure: %d POPs, %d providers, %d edges",
+			len(s.POPs), len(s.Providers), len(s.Edges))
+	}
+	// Heterogeneous attachment.
+	if len(s.Trunk["ny"]) != 2 || len(s.Trunk["chi"]) != 3 || len(s.Trunk["la"]) != 2 {
+		t.Fatalf("trunks: ny=%d chi=%d la=%d", len(s.Trunk["ny"]), len(s.Trunk["chi"]), len(s.Trunk["la"]))
+	}
+	if s.Trunk["ny"]["GTT"] != nil || s.Trunk["la"]["Telia"] != nil {
+		t.Fatal("unexpected provider attachment")
+	}
+	if s.Edge("ny", "la") == nil {
+		t.Fatal("edge lookup failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown edge did not panic")
+		}
+	}()
+	s.Edge("ny", "nowhere")
+}
+
+func triDiscover(t *testing.T, s *TriScenario, a, b string) []control.DiscoveredPath {
+	t.Helper()
+	keyA, keyB := a+":"+b, b+":"+a
+	d := &control.Discoverer{
+		Announcer: s.Edge(b, a).Speaker,
+		Observer:  s.Edge(a, b).Speaker,
+		Probe:     s.Probe[keyB],
+		POPAS:     s.POPs[b].ASN,
+		NameFor:   TriProviderName,
+		RoundWait: 90 * time.Second,
+	}
+	_ = keyA
+	var got []control.DiscoveredPath
+	d.Run(func(paths []control.DiscoveredPath) { got = paths })
+	s.Run(15 * time.Minute)
+	return got
+}
+
+func TestTriScenarioPathDiversity(t *testing.T) {
+	s := NewTriScenario(2)
+	s.Run(5 * time.Minute)
+
+	// NY<->LA share only NTT: exactly one path.
+	direct := triDiscover(t, s, "ny", "la")
+	if len(direct) != 1 || direct[0].ProviderName != "NTT" {
+		t.Fatalf("ny->la paths = %v, want [NTT]", direct)
+	}
+	// NY<->CHI share NTT and Telia.
+	nyChi := triDiscover(t, s, "ny", "chi")
+	if len(nyChi) != 2 {
+		t.Fatalf("ny->chi paths = %v", nyChi)
+	}
+	// CHI<->LA share NTT and GTT.
+	chiLa := triDiscover(t, s, "chi", "la")
+	if len(chiLa) != 2 {
+		t.Fatalf("chi->la paths = %v", chiLa)
+	}
+	seen := map[string]bool{}
+	for _, p := range append(nyChi, chiLa...) {
+		seen[p.ProviderName] = true
+	}
+	if !seen["Telia"] || !seen["GTT"] || !seen["NTT"] {
+		t.Fatalf("overlay providers = %v", seen)
+	}
+}
+
+func TestTriProviderName(t *testing.T) {
+	if TriProviderName(bgp.ASNTT) != "NTT" || TriProviderName(bgp.ASGTT) != "GTT" ||
+		TriProviderName(bgp.ASTelia) != "Telia" || TriProviderName(9999) != "AS9999" {
+		t.Fatal("TriProviderName wrong")
+	}
+}
+
+func TestTriScenarioClockOffsets(t *testing.T) {
+	s := NewTriScenario(3)
+	offNY := s.Edge("ny", "la").Node.Clock().Offset()
+	offNY2 := s.Edge("ny", "chi").Node.Clock().Offset()
+	offLA := s.Edge("la", "ny").Node.Clock().Offset()
+	if offNY != offNY2 {
+		t.Fatal("servers in the same site must share the site clock offset")
+	}
+	if offNY == offLA {
+		t.Fatal("sites must have distinct clock offsets")
+	}
+}

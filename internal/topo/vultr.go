@@ -1,0 +1,228 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/bgp"
+	"tango/internal/simnet"
+)
+
+// ProviderProfile calibrates one transit provider's trunk behaviour. The
+// numbers are fit to what the paper reports for the NY/LA pair (§5 and
+// Figure 4): GTT has a 28 ms floor with almost no jitter, the NTT default
+// runs ~30% above GTT's mean, Telia sits in between with 0.33 ms rolling
+// jitter, and the fourth path in each direction is a little slower still.
+type ProviderProfile struct {
+	Name  string
+	ASN   bgp.ASN
+	Floor time.Duration
+	Mean  time.Duration
+	Std   time.Duration
+}
+
+// Trunk returns the provider's one-way trunk delay model.
+func (p ProviderProfile) Trunk() simnet.DelayModel {
+	return simnet.GaussianDelay{Floor: p.Floor, Mean: p.Mean, Std: p.Std}
+}
+
+// Default provider calibration (see DESIGN.md, experiments E2/E3).
+var (
+	ProfileNTT    = ProviderProfile{Name: "NTT", ASN: bgp.ASNTT, Floor: 36200 * time.Microsecond, Mean: 36600 * time.Microsecond, Std: 100 * time.Microsecond}
+	ProfileTelia  = ProviderProfile{Name: "Telia", ASN: bgp.ASTelia, Floor: 30800 * time.Microsecond, Mean: 31300 * time.Microsecond, Std: 330 * time.Microsecond}
+	ProfileGTT    = ProviderProfile{Name: "GTT", ASN: bgp.ASGTT, Floor: 28 * time.Millisecond, Mean: 28150 * time.Microsecond, Std: 10 * time.Microsecond}
+	ProfileCogent = ProviderProfile{Name: "Cogent", ASN: bgp.ASCogent, Floor: 35200 * time.Microsecond, Mean: 35700 * time.Microsecond, Std: 200 * time.Microsecond}
+	ProfileLevel3 = ProviderProfile{Name: "Level3", ASN: bgp.ASLevel3, Floor: 29200 * time.Microsecond, Mean: 29600 * time.Microsecond, Std: 150 * time.Microsecond}
+)
+
+// Scenario is the paper's deployment: two Vultr datacenters (NY and LA),
+// a server with a private-ASN BIRD session in each, and the five transit
+// providers observed in §4.1, with an NTT–Cogent peering supplying the
+// fourth LA→NY path.
+type Scenario struct {
+	B *Builder
+
+	EdgeNY, EdgeLA   *AS // the Tango servers (private ASNs)
+	VultrNY, VultrLA *AS // Vultr border routers, both AS 20473
+	NTT, Telia, GTT  *AS
+	Cogent, Level3   *AS
+
+	// TrunkToLA[name] is the line carrying NY->LA traffic for that
+	// provider (the direction Figure 4 plots); TrunkToNY the reverse.
+	// Event injection reaches these lines' Shapers.
+	TrunkToLA map[string]*simnet.Line
+	TrunkToNY map[string]*simnet.Line
+
+	// Address plan.
+	BlockNY, BlockLA addr.Prefix // institutional space per site for tunnel prefixes
+	HostNY, HostLA   addr.Prefix // host-addressing prefixes (announced plainly)
+}
+
+// ScenarioConfig tweaks the Vultr scenario.
+type ScenarioConfig struct {
+	Seed int64
+	// ClockOffsetNY/LA model the unsynchronised server clocks. The
+	// defaults are deliberately large and asymmetric.
+	ClockOffsetNY, ClockOffsetLA time.Duration
+	// MRAI for all core sessions (default 5 s).
+	MRAI time.Duration
+	// Profiles override the default provider calibration when non-nil.
+	Profiles []ProviderProfile
+}
+
+// edge ASNs (RFC 6996 private, stripped by Vultr on export).
+const (
+	ASEdgeNY bgp.ASN = 65001
+	ASEdgeLA bgp.ASN = 65002
+)
+
+// NewVultrScenario builds the deployment.
+func NewVultrScenario(cfg ScenarioConfig) *Scenario {
+	if cfg.ClockOffsetNY == 0 && cfg.ClockOffsetLA == 0 {
+		cfg.ClockOffsetNY = 1700 * time.Millisecond
+		cfg.ClockOffsetLA = -900 * time.Millisecond
+	}
+	b := NewBuilder(cfg.Seed)
+	s := &Scenario{
+		B:         b,
+		TrunkToLA: make(map[string]*simnet.Line),
+		TrunkToNY: make(map[string]*simnet.Line),
+		BlockNY:   addr.MustParsePrefix("2001:db8:100::/44"),
+		BlockLA:   addr.MustParsePrefix("2001:db8:200::/44"),
+		HostNY:    addr.MustParsePrefix("2001:db8:a00::/48"),
+		HostLA:    addr.MustParsePrefix("2001:db8:b00::/48"),
+	}
+
+	s.EdgeNY = b.AddAS("edge-ny", ASEdgeNY, 101, cfg.ClockOffsetNY)
+	s.EdgeLA = b.AddAS("edge-la", ASEdgeLA, 102, cfg.ClockOffsetLA)
+	s.VultrNY = b.AddAS("vultr-ny", bgp.ASVultr, 11, 0)
+	s.VultrLA = b.AddAS("vultr-la", bgp.ASVultr, 12, 0)
+
+	profs := cfg.Profiles
+	if profs == nil {
+		profs = []ProviderProfile{ProfileNTT, ProfileTelia, ProfileGTT, ProfileCogent, ProfileLevel3}
+	}
+	byName := map[string]ProviderProfile{}
+	for _, p := range profs {
+		byName[p.Name] = p
+	}
+
+	s.NTT = b.AddAS("ntt", bgp.ASNTT, 21, 0)
+	s.Telia = b.AddAS("telia", bgp.ASTelia, 22, 0)
+	s.GTT = b.AddAS("gtt", bgp.ASGTT, 23, 0)
+	s.Cogent = b.AddAS("cogent", bgp.ASCogent, 24, 0)
+	s.Level3 = b.AddAS("level3", bgp.ASLevel3, 25, 0)
+
+	// Server <-> Vultr border: the paper's BIRD eBGP session over the
+	// DC fabric. Tiny data-plane delay; Vultr strips the private ASN
+	// and scrubs its action communities when re-exporting to the core
+	// (configured on the vultr<->transit wires below).
+	dcLink := simnet.FixedDelay(200 * time.Microsecond)
+	lnNY, _, _ := b.Wire(s.EdgeNY, s.VultrNY, WireOpts{
+		RelAB:   bgp.RelProvider,
+		DelayAB: dcLink, DelayBA: dcLink,
+		SessionDelay: time.Millisecond,
+		MRAI:         time.Second,
+	})
+	lnLA, _, _ := b.Wire(s.EdgeLA, s.VultrLA, WireOpts{
+		RelAB:   bgp.RelProvider,
+		DelayAB: dcLink, DelayBA: dcLink,
+		SessionDelay: time.Millisecond,
+		MRAI:         time.Second,
+	})
+	DefaultRoute(s.EdgeNY, lnNY)
+	DefaultRoute(s.EdgeLA, lnLA)
+
+	mrai := cfg.MRAI
+	if mrai == 0 {
+		mrai = 5 * time.Second
+	}
+	access := simnet.FixedDelay(50 * time.Microsecond)
+
+	// wireTransit connects a Vultr POP to a provider: the access
+	// direction (POP -> provider) is near-zero; the trunk direction
+	// (provider -> POP) carries the provider's cross-country profile.
+	wireTransit := func(pop *AS, prov *AS, prof ProviderProfile, trunkMap map[string]*simnet.Line) {
+		lnk, _, _ := b.Wire(pop, prov, WireOpts{
+			RelAB:   bgp.RelProvider, // provider provides transit to the POP
+			DelayAB: access,
+			DelayBA: prof.Trunk(),
+			MRAI:    mrai,
+			// The POP strips the tenant's private ASN and scrubs
+			// action communities when announcing to the core.
+			StripPrivateA2B: true,
+			ScrubA2B:        true,
+			// Both POPs share AS 20473: accept paths containing it.
+			AllowOwnASA: true,
+		})
+		trunkMap[prof.Name] = lnk.LineFrom(prov.Node)
+	}
+
+	// NY-side transits: NTT, Telia, GTT, Cogent.
+	wireTransit(s.VultrNY, s.NTT, byName["NTT"], s.TrunkToNY)
+	wireTransit(s.VultrNY, s.Telia, byName["Telia"], s.TrunkToNY)
+	wireTransit(s.VultrNY, s.GTT, byName["GTT"], s.TrunkToNY)
+	wireTransit(s.VultrNY, s.Cogent, byName["Cogent"], s.TrunkToNY)
+	// LA-side transits: NTT, Telia, GTT, Level3.
+	wireTransit(s.VultrLA, s.NTT, byName["NTT"], s.TrunkToLA)
+	wireTransit(s.VultrLA, s.Telia, byName["Telia"], s.TrunkToLA)
+	wireTransit(s.VultrLA, s.GTT, byName["GTT"], s.TrunkToLA)
+	wireTransit(s.VultrLA, s.Level3, byName["Level3"], s.TrunkToLA)
+
+	// NTT <-> Cogent settlement-free peering: supplies the LA->NY
+	// "NTT and Cogent" path the paper observed once NY's announcements
+	// to NTT, Telia, and GTT are suppressed. The peering hop adds a
+	// few ms on top of Cogent's trunk.
+	b.Wire(s.NTT, s.Cogent, WireOpts{
+		RelAB:   bgp.RelPeer,
+		DelayAB: simnet.FixedDelay(4 * time.Millisecond),
+		DelayBA: simnet.FixedDelay(4 * time.Millisecond),
+		MRAI:    mrai,
+	})
+	// NTT <-> Level3 peering: the mirror-image hop for the NY->LA
+	// direction, whose fourth path enters LA through Level3.
+	b.Wire(s.NTT, s.Level3, WireOpts{
+		RelAB:   bgp.RelPeer,
+		DelayAB: simnet.FixedDelay(4 * time.Millisecond),
+		DelayBA: simnet.FixedDelay(4 * time.Millisecond),
+		MRAI:    mrai,
+	})
+
+	// Host-addressing prefixes ride plain BGP (no communities): they
+	// give the sites baseline Internet connectivity over the default
+	// path — the "without Tango" baseline in the experiments.
+	s.EdgeNY.Speaker.Originate(s.HostNY)
+	s.EdgeLA.Speaker.Originate(s.HostLA)
+
+	return s
+}
+
+// Run advances the scenario's virtual time by d.
+func (s *Scenario) Run(d time.Duration) {
+	s.B.W.Run(s.B.W.Now() + d)
+}
+
+// ProviderNameForPath names the wide-area path a route takes, using the
+// transit AS adjacent to the destination's Vultr POP — the convention the
+// paper uses ("NTT and Cogent (we refer to this as Cogent)").
+func ProviderNameForPath(path bgp.Path) string {
+	names := map[bgp.ASN]string{
+		bgp.ASNTT: "NTT", bgp.ASTelia: "Telia", bgp.ASGTT: "GTT",
+		bgp.ASCogent: "Cogent", bgp.ASLevel3: "Level3",
+	}
+	// The path (seen from the source edge) reads
+	// [providers..., 20473(dest POP)] after private-ASN stripping, or
+	// [20473(src POP), providers..., 20473] when learned through the
+	// local POP. The provider adjacent to the *final* 20473 names it.
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == bgp.ASVultr {
+			continue
+		}
+		if n, ok := names[path[i]]; ok {
+			return n
+		}
+		return fmt.Sprintf("AS%d", path[i])
+	}
+	return "direct"
+}

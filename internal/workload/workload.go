@@ -1,0 +1,205 @@
+// Package workload generates the traffic the experiments measure: the
+// paper's 10 ms per-path probes, constant-bit-rate application streams
+// with ground-truth latency accounting, and an in-order (TCP-like)
+// delivery model that turns a packet-delay trace into application-level
+// latency (§5's head-of-line-blocking argument).
+package workload
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"time"
+
+	"tango/internal/dataplane"
+	"tango/internal/packet"
+	"tango/internal/sim"
+)
+
+// Prober sends a small packet down every tunnel of a switch at a fixed
+// interval — the paper "ran a ping along each path every 10 ms". Probes
+// ride the tunnels like any data packet, so the receiver measures them
+// with zero extra machinery (no ICMP, no protocol dependence).
+type Prober struct {
+	sw       *dataplane.Switch
+	tick     *sim.Ticker
+	inner    []byte
+	Interval time.Duration
+	Sent     uint64
+}
+
+// NewProber starts probing every interval. src/dst address the inner
+// probe packet (conventionally host addresses of the two sites).
+func NewProber(eng *sim.Engine, sw *dataplane.Switch, src, dst netip.Addr, interval time.Duration) *Prober {
+	p := &Prober{sw: sw, Interval: interval}
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload([]byte("tango-probe"))
+	udp := &packet.UDP{SrcPort: 7, DstPort: 7}
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		panic(err)
+	}
+	p.inner = make([]byte, buf.Len())
+	copy(p.inner, buf.Bytes())
+	p.tick = sim.NewTicker(eng, interval, func(sim.Time) { p.probe() })
+	return p
+}
+
+func (p *Prober) probe() {
+	for _, tun := range p.sw.Tunnels() {
+		p.sw.SendOnTunnel(tun, p.inner)
+		p.Sent++
+	}
+}
+
+// Stop halts probing.
+func (p *Prober) Stop() { p.tick.Stop() }
+
+// AppRecord is the ground-truth fate of one application packet.
+type AppRecord struct {
+	Seq     uint32
+	SentAt  sim.Time
+	RecvAt  sim.Time // 0 if lost
+	Latency time.Duration
+}
+
+// AppGen emits a constant-rate application stream through the switch's
+// normal sender path (so the controller's current choice carries it) and
+// records ground-truth one-way latency in virtual time — the "user
+// experience" the baselines and Tango are compared on.
+type AppGen struct {
+	eng  *sim.Engine
+	sw   *dataplane.Switch
+	tick *sim.Ticker
+
+	seq      uint32
+	sentAt   map[uint32]sim.Time
+	Records  []AppRecord
+	Pending  int
+	template []byte
+
+	// OnDeliver, when set, fires for each delivered packet.
+	OnDeliver func(AppRecord)
+}
+
+// AppPort is the inner UDP destination port that identifies AppGen
+// traffic at the receiving site.
+const AppPort = 7001
+
+// NewAppGen starts a stream of payloadSize-byte packets every interval.
+// Call Sink on the receiving site's delivery hook to complete the loop.
+func NewAppGen(eng *sim.Engine, sw *dataplane.Switch, src, dst netip.Addr, interval time.Duration, payloadSize int) *AppGen {
+	g := &AppGen{eng: eng, sw: sw, sentAt: make(map[uint32]sim.Time)}
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(make([]byte, payloadSize))
+	udp := &packet.UDP{SrcPort: 7000, DstPort: AppPort}
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		panic(err)
+	}
+	g.template = make([]byte, buf.Len())
+	copy(g.template, buf.Bytes())
+	g.tick = sim.NewTicker(eng, interval, func(now sim.Time) { g.emit(now) })
+	return g
+}
+
+func (g *AppGen) emit(now sim.Time) {
+	pkt := make([]byte, len(g.template))
+	copy(pkt, g.template)
+	// Stamp the sequence number into the first 4 payload bytes
+	// (offset: IPv6 40 + UDP 8).
+	binary.BigEndian.PutUint32(pkt[48:52], g.seq)
+	g.sentAt[g.seq] = now
+	g.seq++
+	g.Pending++
+	g.sw.SendToPeer(pkt)
+}
+
+// Sink consumes an inner packet delivered at the receiving site and, if
+// it belongs to this generator, records its latency. Wire it into the
+// remote switch's DeliverLocal.
+func (g *AppGen) Sink(inner []byte) bool {
+	if len(inner) < 52 || inner[0]>>4 != 6 {
+		return false
+	}
+	dport := binary.BigEndian.Uint16(inner[42:44])
+	if dport != AppPort {
+		return false
+	}
+	seq := binary.BigEndian.Uint32(inner[48:52])
+	sent, ok := g.sentAt[seq]
+	if !ok {
+		return false
+	}
+	delete(g.sentAt, seq)
+	g.Pending--
+	now := g.eng.Now()
+	rec := AppRecord{Seq: seq, SentAt: sent, RecvAt: now, Latency: now - sent}
+	g.Records = append(g.Records, rec)
+	if g.OnDeliver != nil {
+		g.OnDeliver(rec)
+	}
+	return true
+}
+
+// Stop halts the stream.
+func (g *AppGen) Stop() { g.tick.Stop() }
+
+// FinalRecords returns every emitted packet ordered by send time, with
+// in-flight/lost packets carrying RecvAt 0. Call after the simulation
+// has drained.
+func (g *AppGen) FinalRecords() []AppRecord {
+	out := append([]AppRecord(nil), g.Records...)
+	for seq, sent := range g.sentAt {
+		out = append(out, AppRecord{Seq: seq, SentAt: sent})
+	}
+	sortRecords(out)
+	return out
+}
+
+func sortRecords(rs []AppRecord) {
+	// Insertion-friendly ordering by send time then seq; traces are
+	// nearly sorted already.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && (rs[j].SentAt < rs[j-1].SentAt ||
+			(rs[j].SentAt == rs[j-1].SentAt && rs[j].Seq < rs[j-1].Seq)); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// Sent returns the number of packets emitted.
+func (g *AppGen) Sent() uint32 { return g.seq }
+
+// InOrderModel converts a per-packet delay trace into in-order delivery
+// latency, the quantity a TCP-like bytestream application experiences:
+// packet n is usable only once packets 0..n-1 are usable, so one delayed
+// packet holds up everything behind it (§5: "the application-layer data
+// stream will be held up by the slow packet").
+type InOrderModel struct {
+	// RetransmitAfter simulates loss recovery: a lost packet is treated
+	// as arriving RetransmitAfter later than its original send (0
+	// disables loss handling; lost packets then stall forever and are
+	// skipped).
+	RetransmitAfter time.Duration
+}
+
+// Apply takes records ordered by send time (RecvAt 0 = lost) and returns
+// the in-order delivery latency for each delivered packet.
+func (m InOrderModel) Apply(recs []AppRecord) []time.Duration {
+	out := make([]time.Duration, 0, len(recs))
+	var readyAt sim.Time
+	for _, r := range recs {
+		arrive := r.RecvAt
+		if arrive == 0 {
+			if m.RetransmitAfter == 0 {
+				continue
+			}
+			arrive = r.SentAt + m.RetransmitAfter
+		}
+		if arrive > readyAt {
+			readyAt = arrive
+		}
+		out = append(out, readyAt-r.SentAt)
+	}
+	return out
+}

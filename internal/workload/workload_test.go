@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/dataplane"
+	"tango/internal/sim"
+	"tango/internal/simnet"
+)
+
+// twoSwitchNet wires two switches over one 10ms link with one tunnel.
+func twoSwitchNet(t *testing.T) (*simnet.Network, *dataplane.Switch, *dataplane.Switch) {
+	t.Helper()
+	w := simnet.New(4)
+	a := w.AddNode("a", 0)
+	b := w.AddNode("b", 0)
+	cfg := simnet.LinkConfig{Delay: simnet.FixedDelay(5 * time.Millisecond)}
+	w.Connect(a, b, cfg, cfg)
+	a.SetRoute(addr.MustParsePrefix("2001:db8:b::/48"), a.Ports()[0])
+	b.SetRoute(addr.MustParsePrefix("2001:db8:a::/48"), b.Ports()[0])
+	swA := dataplane.NewSwitch(a)
+	swB := dataplane.NewSwitch(b)
+	swA.AddTunnel(&dataplane.Tunnel{PathID: 1, Name: "p1",
+		LocalAddr:  netip.MustParseAddr("2001:db8:a::1"),
+		RemoteAddr: netip.MustParseAddr("2001:db8:b::1"), SrcPort: 40001})
+	swB.AddTunnel(&dataplane.Tunnel{PathID: 1, Name: "p1",
+		LocalAddr:  netip.MustParseAddr("2001:db8:b::1"),
+		RemoteAddr: netip.MustParseAddr("2001:db8:a::1"), SrcPort: 40001})
+	swA.AddPeerPrefix(addr.MustParsePrefix("2001:db8:bb::/48"))
+	return w, swA, swB
+}
+
+func TestProberCoversAllTunnels(t *testing.T) {
+	w, swA, swB := twoSwitchNet(t)
+	swA.AddTunnel(&dataplane.Tunnel{PathID: 2, Name: "p2",
+		LocalAddr:  netip.MustParseAddr("2001:db8:a::2"),
+		RemoteAddr: netip.MustParseAddr("2001:db8:b::1"), SrcPort: 40002})
+	counts := map[uint8]int{}
+	swB.OnMeasure = func(m dataplane.Measurement) { counts[m.PathID]++ }
+
+	p := NewProber(w.Eng, swA,
+		netip.MustParseAddr("2001:db8:aa::1"), netip.MustParseAddr("2001:db8:bb::1"),
+		10*time.Millisecond)
+	w.Run(time.Second + time.Millisecond) // ticks at 10ms..1000ms
+	p.Stop()
+	w.Run(2 * time.Second) // drain in-flight probes
+	if counts[1] != 100 || counts[2] != 100 {
+		t.Fatalf("per-path probes = %v, want 100 each", counts)
+	}
+	if p.Sent != 200 {
+		t.Fatalf("Sent = %d", p.Sent)
+	}
+}
+
+func TestAppGenLatencyGroundTruth(t *testing.T) {
+	w, swA, swB := twoSwitchNet(t)
+	g := NewAppGen(w.Eng, swA,
+		netip.MustParseAddr("2001:db8:aa::1"), netip.MustParseAddr("2001:db8:bb::1"),
+		20*time.Millisecond, 100)
+	swB.DeliverLocal = func(inner []byte) { g.Sink(inner) }
+
+	w.Run(time.Second)
+	if g.Sent() < 45 {
+		t.Fatalf("sent = %d", g.Sent())
+	}
+	if len(g.Records) == 0 {
+		t.Fatal("no deliveries")
+	}
+	for _, r := range g.Records {
+		if r.Latency != 5*time.Millisecond {
+			t.Fatalf("latency = %v, want 5ms (ground truth, no clock offset)", r.Latency)
+		}
+	}
+	if g.Pending > 1 {
+		t.Fatalf("pending = %d", g.Pending)
+	}
+	g.Stop()
+}
+
+func TestAppGenFinalRecordsIncludeLost(t *testing.T) {
+	w, swA, swB := twoSwitchNet(t)
+	// 50% loss on the a->b link.
+	w.Links()[0].LineAB().SetLoss(0.5)
+	g := NewAppGen(w.Eng, swA,
+		netip.MustParseAddr("2001:db8:aa::1"), netip.MustParseAddr("2001:db8:bb::1"),
+		5*time.Millisecond, 50)
+	swB.DeliverLocal = func(inner []byte) { g.Sink(inner) }
+	w.Run(2 * time.Second)
+	g.Stop()
+	w.Run(3 * time.Second)
+
+	recs := g.FinalRecords()
+	if uint32(len(recs)) != g.Sent() {
+		t.Fatalf("FinalRecords %d != sent %d", len(recs), g.Sent())
+	}
+	lost := 0
+	for i, r := range recs {
+		if r.RecvAt == 0 {
+			lost++
+		}
+		if i > 0 && recs[i].SentAt < recs[i-1].SentAt {
+			t.Fatal("records unsorted")
+		}
+	}
+	if lost == 0 || lost == len(recs) {
+		t.Fatalf("lost = %d of %d; loss process degenerate", lost, len(recs))
+	}
+}
+
+func TestAppGenSinkRejectsForeign(t *testing.T) {
+	w, swA, _ := twoSwitchNet(t)
+	g := NewAppGen(w.Eng, swA,
+		netip.MustParseAddr("2001:db8:aa::1"), netip.MustParseAddr("2001:db8:bb::1"),
+		time.Second, 10)
+	if g.Sink([]byte{1, 2, 3}) {
+		t.Fatal("garbage accepted")
+	}
+	if g.Sink(make([]byte, 100)) {
+		t.Fatal("non-IPv6 accepted")
+	}
+	// Unknown seq.
+	fake := make([]byte, 60)
+	fake[0] = 6 << 4
+	fake[42], fake[43] = AppPort>>8, AppPort&0xff
+	if g.Sink(fake) {
+		t.Fatal("unknown sequence accepted")
+	}
+}
+
+func TestInOrderModelHeadOfLineBlocking(t *testing.T) {
+	// Packets sent every 10ms, normally arriving 28ms later; packet 2
+	// hits a 50ms spike. In-order delivery stalls packets 3 and 4 even
+	// though they arrived on time.
+	mk := func(seq uint32, sentMs, latMs int64) AppRecord {
+		sent := sim.Time(sentMs) * sim.Time(time.Millisecond)
+		return AppRecord{Seq: seq, SentAt: sent, RecvAt: sent + sim.Time(latMs)*sim.Time(time.Millisecond)}
+	}
+	recs := []AppRecord{
+		mk(0, 0, 28),
+		mk(1, 10, 28),
+		mk(2, 20, 78), // spike: arrives t=98
+		mk(3, 30, 28), // arrives t=58, usable at t=98
+		mk(4, 40, 28), // arrives t=68, usable at t=98
+		mk(5, 50, 28), // arrives t=78, usable at t=98
+		mk(6, 60, 28), // arrives t=88, usable at t=98
+		mk(7, 70, 28), // arrives t=98, unaffected
+	}
+	lats := InOrderModel{}.Apply(recs)
+	wantMs := []int64{28, 28, 78, 68, 58, 48, 38, 28}
+	for i, w := range wantMs {
+		if lats[i] != time.Duration(w)*time.Millisecond {
+			t.Fatalf("in-order latency[%d] = %v, want %dms (all: %v)", i, lats[i], w, lats)
+		}
+	}
+}
+
+func TestInOrderModelLoss(t *testing.T) {
+	mk := func(seq uint32, sentMs int64, lost bool) AppRecord {
+		sent := sim.Time(sentMs) * sim.Time(time.Millisecond)
+		r := AppRecord{Seq: seq, SentAt: sent}
+		if !lost {
+			r.RecvAt = sent + sim.Time(28*time.Millisecond)
+		}
+		return r
+	}
+	recs := []AppRecord{mk(0, 0, false), mk(1, 10, true), mk(2, 20, false)}
+	// Without retransmission, lost packets are skipped.
+	lats := InOrderModel{}.Apply(recs)
+	if len(lats) != 2 {
+		t.Fatalf("lats = %v", lats)
+	}
+	// With a 200ms retransmit, packet 1 "arrives" at 210 and stalls 2.
+	lats = InOrderModel{RetransmitAfter: 200 * time.Millisecond}.Apply(recs)
+	if len(lats) != 3 {
+		t.Fatalf("lats = %v", lats)
+	}
+	if lats[1] != 200*time.Millisecond {
+		t.Fatalf("retransmitted latency = %v", lats[1])
+	}
+	if lats[2] != 190*time.Millisecond {
+		t.Fatalf("stalled latency = %v", lats[2])
+	}
+}
+
+// Property: in-order latencies are always >= raw latencies, and
+// nonincreasing spikes propagate monotonically (delivery times never go
+// backwards).
+func TestInOrderMonotoneProperty(t *testing.T) {
+	f := func(latsRaw []uint16) bool {
+		recs := make([]AppRecord, len(latsRaw))
+		for i, l := range latsRaw {
+			sent := sim.Time(i) * sim.Time(10*time.Millisecond)
+			recs[i] = AppRecord{Seq: uint32(i), SentAt: sent,
+				RecvAt: sent + sim.Time(l%100)*sim.Time(time.Millisecond) + sim.Time(time.Millisecond)}
+		}
+		lats := InOrderModel{}.Apply(recs)
+		var lastDeliver sim.Time
+		for i, l := range lats {
+			raw := recs[i].RecvAt - recs[i].SentAt
+			if l < raw {
+				return false
+			}
+			deliver := recs[i].SentAt + l
+			if deliver < lastDeliver {
+				return false
+			}
+			lastDeliver = deliver
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

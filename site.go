@@ -1,0 +1,192 @@
+package tango
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/core"
+	"tango/internal/packet"
+)
+
+// Site is one cooperating edge network in an established Lab.
+type Site struct {
+	lab  *Lab
+	site *core.Site
+}
+
+// Name returns "ny" or "la".
+func (s *Site) Name() string { return s.site.Spec.Name }
+
+// peerSite resolves the public wrapper for the site's peer.
+func (s *Site) peer() *Site {
+	if s.site == s.lab.pair.A {
+		return s.lab.la
+	}
+	return s.lab.ny
+}
+
+// PathInfo describes one of a site's outgoing wide-area paths with its
+// live measurements (taken at the peer, which is where one-way delay is
+// observed). Delay values are in the peer's clock domain: differences
+// between paths are exact, absolute values carry the constant clock
+// offset.
+type PathInfo struct {
+	// ID is the tunnel path identifier (1-based discovery order; 1 is
+	// the BGP default path).
+	ID uint8
+	// Provider is the transit AS delivering into the peer's POP.
+	Provider string
+	// ASPath is the interdomain path as observed during discovery.
+	ASPath string
+	// MeanOWDMs / MinOWDMs / StdOWDMs aggregate the raw one-way delays.
+	MeanOWDMs, MinOWDMs, StdOWDMs float64
+	// JitterMs is the mean 1-second rolling-window standard deviation
+	// (the paper's jitter metric); offset-free.
+	JitterMs float64
+	// Samples is the number of measured packets.
+	Samples uint64
+	// LossRate is lost/(lost+received) from tunnel sequence numbers.
+	LossRate float64
+	// Current reports whether the controller is steering data traffic
+	// onto this path.
+	Current bool
+}
+
+// Paths returns the site's outgoing paths in discovery order with live
+// stats. Paths without measurements yet have zero Samples.
+func (s *Site) Paths() []PathInfo {
+	peerMon := s.peer().site.Monitor
+	cur := s.site.Controller.Current()
+	out := make([]PathInfo, 0, len(s.site.OutPaths))
+	for i, dp := range s.site.OutPaths {
+		id := uint8(i + 1)
+		info := PathInfo{
+			ID:       id,
+			Provider: dp.ProviderName,
+			ASPath:   dp.Path.String(),
+			Current:  id == cur,
+		}
+		if pm := peerMon.Path(id); pm != nil {
+			info.MeanOWDMs = pm.OWD.Mean()
+			info.MinOWDMs = pm.OWD.Min()
+			info.StdOWDMs = pm.OWD.Std()
+			info.JitterMs = pm.Jitter.MeanStd()
+			info.Samples = pm.OWD.N()
+			info.LossRate = pm.Seq.LossRate()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// CurrentPath returns the provider label of the path currently carrying
+// this site's data traffic.
+func (s *Site) CurrentPath() string {
+	return s.site.PathName(s.site.Controller.Current())
+}
+
+// Switches returns how many times the controller has moved traffic.
+func (s *Site) Switches() uint64 { return s.site.Controller.Stats.Switches }
+
+// OnPathSwitch registers a callback invoked when the controller moves
+// traffic (at is virtual time).
+func (s *Site) OnPathSwitch(fn func(at time.Duration, from, to string)) {
+	s.site.Controller.OnSwitch = func(at time.Duration, from, to uint8) {
+		fn(at, s.site.PathName(from), s.site.PathName(to))
+	}
+}
+
+// HostAddr returns the idx-th address in the site's host prefix; use it
+// to address application traffic.
+func (s *Site) HostAddr(idx uint64) netip.Addr {
+	a, err := s.site.Spec.HostPrefix.Host(idx)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Send transmits an application payload to the peer site as a UDP packet
+// between the given host addresses and ports. The border switch tunnels
+// it over the controller's current path.
+func (s *Site) Send(srcHost, dstHost netip.Addr, srcPort, dstPort uint16, payload []byte) error {
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(payload)
+	udp := &packet.UDP{SrcPort: srcPort, DstPort: dstPort}
+	udp.SetNetworkForChecksum(srcHost, dstHost)
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: srcHost, Dst: dstHost}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		return err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	s.site.Send(out)
+	return nil
+}
+
+// Delivery is an application packet received from the peer.
+type Delivery struct {
+	At               time.Duration // virtual arrival time
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// OnReceive registers a handler for application packets addressed to the
+// given inner UDP destination port.
+func (s *Site) OnReceive(dstPort uint16, fn func(Delivery)) {
+	lab := s.lab
+	s.site.AddSink(func(inner []byte) bool {
+		if len(inner) < 48 || inner[0]>>4 != 6 {
+			return false
+		}
+		if inner[6] != packet.ProtoUDP {
+			return false
+		}
+		dp := binary.BigEndian.Uint16(inner[42:44])
+		if dp != dstPort {
+			return false
+		}
+		var ip packet.IPv6
+		var udp packet.UDP
+		if ip.DecodeFromBytes(inner) != nil || udp.DecodeFromBytes(ip.LayerPayload()) != nil {
+			return false
+		}
+		fn(Delivery{
+			At:      lab.Now(),
+			Src:     ip.Src,
+			Dst:     ip.Dst,
+			SrcPort: udp.SrcPort,
+			DstPort: udp.DstPort,
+			Payload: udp.LayerPayload(),
+		})
+		return true
+	})
+}
+
+// Stats is a snapshot of the site's border-switch counters.
+type Stats struct {
+	Encapped, Decapped uint64
+	ReportsSent        uint64
+	ProbesSent         uint64
+}
+
+// Stats returns the site's data-plane counters.
+func (s *Site) Stats() Stats {
+	st := Stats{
+		Encapped:    s.site.Switch.Stats.Encapped,
+		Decapped:    s.site.Switch.Stats.Decapped,
+		ReportsSent: s.site.Switch.Stats.ReportsSent,
+	}
+	if s.site.Prober != nil {
+		st.ProbesSent = s.site.Prober.Sent
+	}
+	return st
+}
+
+// String summarizes the site.
+func (s *Site) String() string {
+	return fmt.Sprintf("site %s: %d paths, data on %s", s.Name(), len(s.site.OutPaths), s.CurrentPath())
+}

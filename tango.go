@@ -1,0 +1,230 @@
+// Package tango is a library implementation of "It Takes Two to Tango:
+// Cooperative Edge-to-Edge Routing" (Birge-Lee, Apostolaki, Rexford,
+// HotNets '22): pairs of edge networks cooperate to expose wide-area path
+// diversity with BGP communities, measure one-way delay by piggybacking
+// timestamps on data packets at their border switches, and steer traffic
+// per packet over the best exposed path — no support needed from end
+// hosts or the Internet core.
+//
+// Because the public Internet is not available to a library, tango ships
+// a faithful substrate: a deterministic packet-level network simulator, a
+// from-scratch BGP-4 control plane with operator action communities, and
+// an eBPF-equivalent data plane operating on real packet bytes. The
+// top-level entry point is the Lab: the paper's two-datacenter Vultr
+// deployment, ready for discovery, measurement, traffic, and incident
+// injection.
+//
+//	lab := tango.NewLab(tango.Options{Seed: 1})
+//	if err := lab.Establish(); err != nil { ... }
+//	lab.Run(30 * time.Minute)
+//	for _, p := range lab.NY().Paths() {
+//		fmt.Printf("%s: %.2f ms\n", p.Provider, p.MeanOWDMs)
+//	}
+package tango
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/control"
+	"tango/internal/core"
+	"tango/internal/events"
+	"tango/internal/simnet"
+	"tango/internal/topo"
+)
+
+// Policy selects the controller's path-selection strategy.
+type Policy int
+
+// Policies.
+const (
+	// PolicyMinDelay tracks the lowest one-way delay with hysteresis
+	// (the default).
+	PolicyMinDelay Policy = iota
+	// PolicyMinJitter prefers the calmest path within a small delay
+	// budget — for interactive traffic.
+	PolicyMinJitter
+	// PolicyStaticDefault pins traffic to the BGP default path (the
+	// "no Tango" baseline).
+	PolicyStaticDefault
+)
+
+// Options configures a Lab.
+type Options struct {
+	// Seed drives every random process; runs with equal seeds are
+	// bit-for-bit reproducible.
+	Seed int64
+	// ProbeInterval is the per-path measurement cadence (default the
+	// paper's 10 ms).
+	ProbeInterval time.Duration
+	// DecideEvery is the controller cadence (default 1 s; 0 keeps the
+	// controllers off so traffic stays on the BGP default).
+	DecideEvery time.Duration
+	// PolicyNY / PolicyLA select each site's strategy.
+	PolicyNY, PolicyLA Policy
+	// RecordBucket, when positive, records per-path OWD time series at
+	// this aggregation for later export.
+	RecordBucket time.Duration
+	// ClockOffsetNY / ClockOffsetLA skew the two servers' clocks
+	// (defaults: +1.7 s and -0.9 s, deliberately unsynchronised).
+	ClockOffsetNY, ClockOffsetLA time.Duration
+	// AuthKey, when non-empty, enables authenticated telemetry: both
+	// border switches sign Tango datagrams and drop unverified ones.
+	AuthKey []byte
+}
+
+// Lab is the paper's deployment: two cooperating edge servers in Vultr's
+// NY and LA datacenters connected across five transit providers.
+type Lab struct {
+	scenario *topo.Scenario
+	pair     *core.Pair
+	opts     Options
+	ny, la   *Site
+}
+
+// NewLab builds the simulated deployment (BGP sessions established, host
+// prefixes announced) without running Tango discovery yet.
+func NewLab(opts Options) *Lab {
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 10 * time.Millisecond
+	}
+	if opts.DecideEvery == 0 {
+		opts.DecideEvery = time.Second
+	}
+	s := topo.NewVultrScenario(topo.ScenarioConfig{
+		Seed:          opts.Seed,
+		ClockOffsetNY: opts.ClockOffsetNY,
+		ClockOffsetLA: opts.ClockOffsetLA,
+	})
+	s.Run(5 * time.Minute)
+	l := &Lab{scenario: s, opts: opts}
+	return l
+}
+
+func mkPolicy(p Policy) control.Policy {
+	switch p {
+	case PolicyMinJitter:
+		return &control.MinJitter{MaxOWDPenaltyMs: 2}
+	case PolicyStaticDefault:
+		return &control.Static{ID: 1}
+	default:
+		return &control.MinOWD{HysteresisMs: 0.5, MinDwell: 2 * time.Second, StaleAfter: 10 * time.Second}
+	}
+}
+
+// Establish runs the paper's setup end to end in virtual time: iterative
+// path discovery in both directions, one pinned prefix announced per
+// exposed path, tunnels provisioned, probing and the measurement feedback
+// loop started. It returns an error if BGP fails to expose any path.
+func (l *Lab) Establish() error {
+	p := core.VultrPair(l.scenario, core.PairConfig{
+		ProbeInterval: l.opts.ProbeInterval,
+		DecideEvery:   l.opts.DecideEvery,
+		PolicyA:       mkPolicy(l.opts.PolicyNY),
+		PolicyB:       mkPolicy(l.opts.PolicyLA),
+		RecordBucket:  l.opts.RecordBucket,
+		AuthKey:       l.opts.AuthKey,
+	})
+	p.Establish()
+	if !p.RunUntilReady(2 * time.Hour) {
+		return fmt.Errorf("tango: establishment did not complete")
+	}
+	if len(p.A.OutPaths) == 0 || len(p.B.OutPaths) == 0 {
+		return fmt.Errorf("tango: no wide-area paths discovered")
+	}
+	l.pair = p
+	l.ny = &Site{lab: l, site: p.A}
+	l.la = &Site{lab: l, site: p.B}
+	return nil
+}
+
+// Run advances the deployment by d of virtual time.
+func (l *Lab) Run(d time.Duration) { l.scenario.Run(d) }
+
+// Now returns the current virtual time.
+func (l *Lab) Now() time.Duration { return l.scenario.B.W.Now() }
+
+// NY returns the New York site. Establish must have succeeded.
+func (l *Lab) NY() *Site { return l.ny }
+
+// LA returns the Los Angeles site.
+func (l *Lab) LA() *Site { return l.la }
+
+// Direction identifies one traffic direction between the sites.
+type Direction int
+
+// Directions.
+const (
+	NYtoLA Direction = iota
+	LAtoNY
+)
+
+func (d Direction) String() string {
+	if d == NYtoLA {
+		return "NY->LA"
+	}
+	return "LA->NY"
+}
+
+// trunk returns the named provider's trunk line for the direction.
+func (l *Lab) trunk(provider string, dir Direction) (*simnet.Line, error) {
+	var m map[string]*simnet.Line
+	if dir == NYtoLA {
+		m = l.scenario.TrunkToLA
+	} else {
+		m = l.scenario.TrunkToNY
+	}
+	line, ok := m[provider]
+	if !ok {
+		return nil, fmt.Errorf("tango: no %s trunk for %v", provider, dir)
+	}
+	return line, nil
+}
+
+// InjectRouteShift schedules an intra-provider routing change (the
+// Figure 4 middle incident): after `in` of virtual time the provider's
+// path in the given direction settles delta higher for dur, then reverts.
+func (l *Lab) InjectRouteShift(provider string, dir Direction, in, dur, delta time.Duration) error {
+	line, err := l.trunk(provider, dir)
+	if err != nil {
+		return err
+	}
+	(&events.RouteShift{
+		Line:     line,
+		At:       l.Now() + in,
+		Duration: dur,
+		Delta:    delta,
+	}).Schedule(l.scenario.B.Eng())
+	return nil
+}
+
+// InjectInstability schedules a Figure 4 (right) style degradation window
+// with latency spikes up to peak above the path's floor.
+func (l *Lab) InjectInstability(provider string, dir Direction, in, dur time.Duration, spikeProb float64, peakExtra time.Duration) error {
+	line, err := l.trunk(provider, dir)
+	if err != nil {
+		return err
+	}
+	(&events.Instability{
+		Line:           line,
+		At:             l.Now() + in,
+		Duration:       dur,
+		SpikeProb:      spikeProb,
+		SpikeMean:      peakExtra / 3,
+		SpikeCap:       peakExtra,
+		MinorExtraMean: time.Millisecond,
+		MinorExtraStd:  1500 * time.Microsecond,
+	}).Schedule(l.scenario.B.Eng())
+	return nil
+}
+
+// InjectLossBurst raises the provider's loss rate in one direction for a
+// window.
+func (l *Lab) InjectLossBurst(provider string, dir Direction, in, dur time.Duration, loss float64) error {
+	line, err := l.trunk(provider, dir)
+	if err != nil {
+		return err
+	}
+	(&events.LossBurst{Line: line, At: l.Now() + in, Duration: dur, Loss: loss}).Schedule(l.scenario.B.Eng())
+	return nil
+}

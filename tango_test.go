@@ -1,0 +1,173 @@
+package tango
+
+import (
+	"testing"
+	"time"
+)
+
+func newEstablishedLab(t *testing.T, opts Options) *Lab {
+	t.Helper()
+	l := NewLab(opts)
+	if err := l.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLabEstablishAndPaths(t *testing.T) {
+	l := newEstablishedLab(t, Options{Seed: 1})
+	l.Run(time.Minute)
+
+	ny := l.NY()
+	la := l.LA()
+	if ny.Name() != "ny" || la.Name() != "la" {
+		t.Fatalf("names: %s/%s", ny.Name(), la.Name())
+	}
+	ps := ny.Paths()
+	if len(ps) != 4 {
+		t.Fatalf("NY paths = %d", len(ps))
+	}
+	want := []string{"NTT", "Telia", "GTT", "Level3"}
+	for i, p := range ps {
+		if p.Provider != want[i] {
+			t.Fatalf("paths = %+v", ps)
+		}
+		if p.Samples == 0 {
+			t.Fatalf("path %s has no measurements", p.Provider)
+		}
+		if p.ASPath == "" {
+			t.Fatal("empty AS path")
+		}
+	}
+	laWant := []string{"NTT", "Telia", "GTT", "Cogent"}
+	for i, p := range la.Paths() {
+		if p.Provider != laWant[i] {
+			t.Fatalf("LA paths = %+v", la.Paths())
+		}
+	}
+	// Exactly one current path per site.
+	cur := 0
+	for _, p := range ps {
+		if p.Current {
+			cur++
+		}
+	}
+	if cur != 1 {
+		t.Fatalf("current paths = %d", cur)
+	}
+	if ny.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestLabControllerConverges(t *testing.T) {
+	l := newEstablishedLab(t, Options{Seed: 2})
+	var moves []string
+	l.NY().OnPathSwitch(func(at time.Duration, from, to string) {
+		moves = append(moves, from+"->"+to)
+	})
+	l.Run(3 * time.Minute)
+	if l.NY().CurrentPath() != "GTT" {
+		t.Fatalf("NY on %s, want GTT", l.NY().CurrentPath())
+	}
+	if l.NY().Switches() == 0 || len(moves) == 0 {
+		t.Fatal("no switches recorded")
+	}
+}
+
+func TestLabStaticPolicyStaysOnDefault(t *testing.T) {
+	l := newEstablishedLab(t, Options{Seed: 3, PolicyNY: PolicyStaticDefault, PolicyLA: PolicyStaticDefault})
+	l.Run(2 * time.Minute)
+	if l.NY().CurrentPath() != "NTT" {
+		t.Fatalf("static policy moved to %s", l.NY().CurrentPath())
+	}
+}
+
+func TestLabSendReceive(t *testing.T) {
+	l := newEstablishedLab(t, Options{Seed: 4})
+	var got []Delivery
+	l.LA().OnReceive(9000, func(d Delivery) { got = append(got, d) })
+
+	src := l.NY().HostAddr(1)
+	dst := l.LA().HostAddr(1)
+	if err := l.NY().Send(src, dst, 8000, 9000, []byte("hello LA")); err != nil {
+		t.Fatal(err)
+	}
+	l.Run(time.Second)
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	d := got[0]
+	if string(d.Payload) != "hello LA" || d.SrcPort != 8000 || d.Src != src || d.Dst != dst {
+		t.Fatalf("delivery = %+v", d)
+	}
+	st := l.NY().Stats()
+	if st.Encapped == 0 || st.ProbesSent == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLabInjectRouteShiftMovesTraffic(t *testing.T) {
+	l := newEstablishedLab(t, Options{Seed: 5})
+	l.Run(2 * time.Minute) // settle on GTT
+	if l.NY().CurrentPath() != "GTT" {
+		t.Fatalf("pre-event path %s", l.NY().CurrentPath())
+	}
+	if err := l.InjectRouteShift("GTT", NYtoLA, time.Minute, 10*time.Minute, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	l.Run(5 * time.Minute) // into the event
+	if l.NY().CurrentPath() == "GTT" {
+		t.Fatal("controller did not leave GTT during +5ms shift")
+	}
+	l.Run(12 * time.Minute) // event over
+	if l.NY().CurrentPath() != "GTT" {
+		t.Fatalf("controller did not return to GTT: on %s", l.NY().CurrentPath())
+	}
+}
+
+func TestLabInjectErrors(t *testing.T) {
+	l := newEstablishedLab(t, Options{Seed: 6})
+	if err := l.InjectRouteShift("Nonexistent", NYtoLA, 0, time.Minute, time.Millisecond); err == nil {
+		t.Fatal("unknown provider accepted")
+	}
+	if err := l.InjectInstability("GTT", LAtoNY, 0, time.Minute, 0.1, 40*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.InjectLossBurst("Telia", NYtoLA, 0, time.Minute, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if NYtoLA.String() == LAtoNY.String() {
+		t.Fatal("direction strings")
+	}
+}
+
+func TestLabDeterminism(t *testing.T) {
+	run := func() (string, float64) {
+		l := newEstablishedLab(t, Options{Seed: 77})
+		l.Run(2 * time.Minute)
+		ps := l.NY().Paths()
+		return l.NY().CurrentPath(), ps[2].MeanOWDMs
+	}
+	p1, m1 := run()
+	p2, m2 := run()
+	if p1 != p2 || m1 != m2 {
+		t.Fatalf("runs diverged: (%s, %v) vs (%s, %v)", p1, m1, p2, m2)
+	}
+}
+
+func TestLabAuthenticatedTelemetry(t *testing.T) {
+	l := newEstablishedLab(t, Options{Seed: 8, AuthKey: []byte("pair-shared-key")})
+	l.Run(2 * time.Minute)
+	// Probes are signed and verified: measurements flow and the
+	// controller still converges on GTT.
+	ps := l.NY().Paths()
+	for _, p := range ps {
+		if p.Samples == 0 {
+			t.Fatalf("no measurements on %s with auth enabled", p.Provider)
+		}
+	}
+	if l.NY().CurrentPath() != "GTT" {
+		t.Fatalf("controller on %s with auth enabled", l.NY().CurrentPath())
+	}
+}
