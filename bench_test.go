@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"tango/internal/addr"
 	"tango/internal/dataplane"
 	"tango/internal/experiments"
 	"tango/internal/packet"
@@ -108,6 +109,16 @@ func BenchmarkE9LossReorder(b *testing.B) {
 	}
 }
 
+// BenchmarkE10MeshOverlay regenerates the §6 overlay-routing scenario:
+// three pairwise deployments composed into a mesh that routes around a
+// shared-provider incident.
+func BenchmarkE10MeshOverlay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E10MeshOverlay(benchCfg(int64(i)+1, 90*time.Second))
+		reportChecks(b, r)
+	}
+}
+
 // benchSwitch builds a standalone switch with one tunnel for data-plane
 // microbenchmarks.
 func benchSwitch(b *testing.B) (*simnet.Network, *dataplane.Switch, *dataplane.Tunnel) {
@@ -194,6 +205,69 @@ func BenchmarkE8Decap(b *testing.B) {
 	b.StopTimer()
 	if measured != b.N {
 		b.Fatalf("measured %d of %d", measured, b.N)
+	}
+}
+
+// BenchmarkRelayHop measures one full relay hop (parse + verify + decap +
+// relay lookup + re-encapsulate onto the next segment) on 1 KiB payloads —
+// the per-relay cost an overlay route adds over direct delivery
+// (BenchmarkE8Decap is the direct-delivery baseline).
+func BenchmarkRelayHop(b *testing.B) {
+	w := simnet.New(3)
+	nin := w.AddNode("relayIn", 0)
+	nout := w.AddNode("relayOut", 0)
+	nsink := w.AddNode("sink", 0)
+	w.Connect(nout, nsink,
+		simnet.LinkConfig{Delay: simnet.FixedDelay(time.Millisecond)},
+		simnet.LinkConfig{Delay: simnet.FixedDelay(time.Millisecond)})
+	nout.SetRoute(addr.MustParsePrefix("2001:db8:e2::/48"), nout.Ports()[0])
+
+	swIn := dataplane.NewSwitch(nin)
+	inTun := &dataplane.Tunnel{PathID: 1, Name: "seg1",
+		LocalAddr:  netip.MustParseAddr("2001:db8:2::1"),
+		RemoteAddr: netip.MustParseAddr("2001:db8:1::1")}
+	swIn.AddTunnel(inTun)
+	nin.AddAddr(inTun.LocalAddr)
+	swOut := dataplane.NewSwitch(nout)
+	swOut.AddTunnel(&dataplane.Tunnel{PathID: 1, Name: "seg2",
+		LocalAddr:  netip.MustParseAddr("2001:db8:c1::1"),
+		RemoteAddr: netip.MustParseAddr("2001:db8:e2::1"), SrcPort: 41002})
+
+	relay := dataplane.NewRelay()
+	relay.AddRoute(addr.MustParsePrefix("2001:db8:cc::/48"), swOut)
+	relay.Attach(swIn)
+
+	// One relay-tagged packet whose inner destination is a further overlay
+	// segment away.
+	inner := benchInner(1024)
+	inner[29] = 0xcc // rewrite inner dst to 2001:db8:cc::1, inside the relay prefix
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(inner)
+	hdr := &packet.Tango{Flags: packet.TangoFlagSeq | packet.TangoFlagTimestamp | packet.TangoFlagInner6,
+		ExtFlags: packet.TangoExtRelay, RelayTTL: 2, PathID: 1, SendTime: 1}
+	udp := &packet.UDP{SrcPort: 40001, DstPort: packet.TangoPort}
+	udp.SetNetworkForChecksum(inTun.RemoteAddr, inTun.LocalAddr)
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: inTun.RemoteAddr, Dst: inTun.LocalAddr}
+	if err := packet.SerializeLayers(buf, ip, udp, hdr, &pay); err != nil {
+		b.Fatal(err)
+	}
+	outer := make([]byte, buf.Len())
+	copy(outer, buf.Bytes())
+
+	b.SetBytes(int64(len(outer)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nin.Inject(outer)
+		if i%4096 == 0 {
+			b.StopTimer()
+			w.Eng.RunAll() // drain the egress segment's delivery events
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	w.Eng.RunAll()
+	if relay.Stats.Forwarded != uint64(b.N) {
+		b.Fatalf("forwarded %d of %d", relay.Stats.Forwarded, b.N)
 	}
 }
 

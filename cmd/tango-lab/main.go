@@ -1,5 +1,5 @@
 // Command tango-lab regenerates the paper's evaluation: every figure and
-// in-text number from §4.1 and §5 (plus the supporting analyses E6-E8
+// in-text number from §4.1 and §5 (plus the supporting analyses E6-E10
 // from DESIGN.md) on the simulated Vultr deployment.
 //
 // Usage:
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiment ids (e1..e8) or 'all'")
+		run      = flag.String("run", "all", "comma-separated experiment ids (e1..e10) or 'all'")
 		seed     = flag.Int64("seed", 1, "random seed (equal seeds reproduce exactly)")
 		duration = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
 		csvDir   = flag.String("csv", "", "directory to write figure series CSVs into")
@@ -32,17 +32,18 @@ func main() {
 
 	cfg := experiments.Config{Seed: *seed, Duration: *duration}
 	drivers := map[string]func(experiments.Config) *experiments.Result{
-		"e1": experiments.E1PathDiscovery,
-		"e2": experiments.E2OWDComparison,
-		"e3": experiments.E3Jitter,
-		"e4": experiments.E4RouteChange,
-		"e5": experiments.E5Instability,
-		"e6": experiments.E6InOrderImpact,
-		"e7": experiments.E7MeasurementSoundness,
-		"e8": experiments.E8DataPlaneCost,
-		"e9": experiments.E9LossReorder,
+		"e1":  experiments.E1PathDiscovery,
+		"e2":  experiments.E2OWDComparison,
+		"e3":  experiments.E3Jitter,
+		"e4":  experiments.E4RouteChange,
+		"e5":  experiments.E5Instability,
+		"e6":  experiments.E6InOrderImpact,
+		"e7":  experiments.E7MeasurementSoundness,
+		"e8":  experiments.E8DataPlaneCost,
+		"e9":  experiments.E9LossReorder,
+		"e10": experiments.E10MeshOverlay,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
 
 	var ids []string
 	if *run == "all" {

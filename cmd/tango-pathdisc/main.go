@@ -28,7 +28,11 @@ func main() {
 	)
 	flag.Parse()
 
-	s := topo.NewVultrScenario(topo.ScenarioConfig{Seed: *seed})
+	s, err := topo.NewVultrScenario(topo.ScenarioConfig{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Println("establishing BGP sessions and base routes (5 min virtual)...")
 	s.Run(5 * time.Minute)
 

@@ -1,19 +1,16 @@
 // Tango-of-N demonstrates the paper's §6 direction: pairwise Tango as the
-// building block of a RON-like overlay. Three sites' POPs attach to
-// different transit providers:
+// building block of a RON-like overlay, now a first-class deployment via
+// tango.NewMesh. Three sites' POPs attach to different transit providers:
 //
 //	ny:  NTT, Telia        la:  NTT, GTT        chi: NTT, Telia, GTT
 //
 // NY and LA share only NTT, so the direct NY<->LA Tango pair exposes a
 // single wide-area path — nothing to optimize over, exactly the situation
-// §2 motivates. CHI shares a fast provider with each site, so composing
-// two Tango pairs (NY<->CHI, CHI<->LA) into a relay exposes a second,
-// fully disjoint route. When NTT suffers an internal route change, the
-// direct pair can only ride it out; the overlay routes around it.
-//
-// This example uses the library's building blocks directly (the top-level
-// tango.Lab is the two-site deployment; N-site composition is future
-// work per the paper).
+// §2 motivates. CHI shares a fast provider with each site, so the mesh
+// composes the NY<->CHI and CHI<->LA pairs into a second, fully disjoint
+// route and keeps both scored from live per-segment measurements. When
+// NTT suffers an internal route change, the direct pair can only ride it
+// out; the overlay routes around it.
 //
 //	go run ./examples/tango-of-n
 package main
@@ -21,131 +18,119 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
-	"net/netip"
 	"time"
 
-	"tango/internal/core"
-	"tango/internal/events"
-	"tango/internal/packet"
-	"tango/internal/topo"
+	"tango"
 )
 
 const (
 	appPort   = 9400
-	relayPort = 9401
 	appPeriod = 50 * time.Millisecond
 )
 
 func main() {
-	t := topo.NewTriScenario(31)
-	t.Run(5 * time.Minute)
-
-	mk := func(a, b string) *core.Pair {
-		spec := func(site, peer string) core.SiteSpec {
-			key := site + ":" + peer
-			return core.SiteSpec{
-				Name:        key,
-				Edge:        t.Edge(site, peer),
-				POPAS:       t.POPs[site].ASN,
-				Block:       t.Block[key],
-				HostPrefix:  t.HostPrefix[key],
-				ProbePrefix: t.Probe[key],
-			}
-		}
-		p := core.NewPair(core.PairConfig{
-			A: spec(a, b), B: spec(b, a),
-			ProbeInterval: 10 * time.Millisecond,
-			DecideEvery:   time.Second,
-			NameFor:       topo.TriProviderName,
-		})
-		p.Establish()
-		return p
-	}
+	mesh := tango.NewMesh(tango.MeshOptions{Seed: 31})
 	fmt.Println("establishing three pairwise Tango deployments...")
-	direct := mk("ny", "la")
-	nyChi := mk("ny", "chi")
-	chiLa := mk("chi", "la")
-	for _, p := range []*core.Pair{direct, nyChi, chiLa} {
-		if !p.RunUntilReady(2 * time.Hour) {
-			panic("pair did not establish")
-		}
+	if err := mesh.Establish(); err != nil {
+		panic(err)
 	}
 
-	show := func(label string, p *core.Pair) {
-		names := make([]string, 0, len(p.A.OutPaths))
-		for _, dp := range p.A.OutPaths {
-			names = append(names, dp.ProviderName)
+	for _, pair := range [][2]string{{"ny", "la"}, {"ny", "chi"}, {"chi", "la"}} {
+		paths, err := mesh.Paths(pair[0], pair[1])
+		if err != nil {
+			panic(err)
 		}
-		fmt.Printf("  %-9s exposes %d path(s): %v\n", label, len(names), names)
+		names := make([]string, 0, len(paths))
+		for _, p := range paths {
+			names = append(names, p.Provider)
+		}
+		fmt.Printf("  %s<->%s exposes %d path(s): %v\n", pair[0], pair[1], len(names), names)
 	}
-	show("ny<->la", direct)
-	show("ny<->chi", nyChi)
-	show("chi<->la", chiLa)
+	mesh.Run(2 * time.Minute) // let probes feed every segment's estimate
 
-	// CHI relay: packets arriving on the chi:ny server tagged for LA are
-	// re-sent through the chi:la server's pair (an intra-DC hand-off).
-	relayRecv(nyChi.B, chiLa) // nyChi.B is the chi:ny site
+	fmt.Println("\nend-to-end routes ny->la (best first):")
+	for _, r := range mesh.Routes("ny", "la") {
+		kind := "direct"
+		if r.Relayed() {
+			kind = "relayed"
+		}
+		fmt.Printf("  %-14s %-8s score %7.2f ms\n", r, kind, r.OWDMs)
+	}
 
-	// Ground-truth latency accounting for both routes.
+	// Ground-truth latency accounting per route, fed by sequence-stamped
+	// app packets; deliveries land at LA whichever member received them.
 	sentAt := map[uint32]time.Duration{}
-	now := func() time.Duration { return t.B.W.Now() }
+	onRoute := map[uint32]bool{} // seq -> was sent on the relayed route
 	directW, relayW := newWindow(), newWindow()
-	sinkApp(direct.B, func(seq uint32) { // direct deliveries at la:ny
-		if t0, ok := sentAt[seq]; ok {
-			directW.add(now() - t0)
-			delete(sentAt, seq)
+	mesh.OnReceive("la", appPort, func(d tango.Delivery) {
+		seq := binary.BigEndian.Uint32(d.Payload)
+		t0, ok := sentAt[seq]
+		if !ok {
+			return
 		}
-	})
-	sinkApp(chiLa.B, func(seq uint32) { // relayed deliveries at la:chi
-		if t0, ok := sentAt[seq]; ok {
-			relayW.add(now() - t0)
-			delete(sentAt, seq)
+		delete(sentAt, seq)
+		if onRoute[seq] {
+			relayW.add(d.At - t0)
+		} else {
+			directW.add(d.At - t0)
 		}
+		delete(onRoute, seq)
 	})
-	// The incident: NTT's internal route toward LA lengthens by 8 ms
-	// for 10 minutes — the direct pair's only path.
+
+	// The incident: NTT's internal route toward LA lengthens by 8 ms for
+	// 10 minutes — the direct pair's only path.
 	lead := 3 * time.Minute
 	eventDur := 10 * time.Minute
-	(&events.RouteShift{
-		Line:     t.Trunk["la"]["NTT"],
-		At:       t.B.W.Now() + lead,
-		Duration: eventDur,
-		Delta:    8 * time.Millisecond,
-	}).Schedule(t.B.Eng())
+	if err := mesh.InjectRouteShift("la", "NTT", lead, eventDur, 8*time.Millisecond); err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nscheduled: +8 ms NTT internal route change toward LA (the direct pair's only path)\n\n")
+
+	routes := mesh.Routes("ny", "la")
+	var direct, relayed tango.Route
+	for _, r := range routes {
+		if r.Relayed() {
+			relayed = r
+		} else {
+			direct = r
+		}
+	}
 
 	var seq uint32
 	phase := func(label string, dur time.Duration) {
 		directW.reset()
 		relayW.reset()
-		end := t.B.W.Now() + dur
-		for t.B.W.Now() < end {
+		end := mesh.Now() + dur
+		for mesh.Now() < end {
 			// One packet down each route per period.
-			sentAt[seq] = t.B.W.Now()
-			sendDirect(direct.A, seq)
-			seq++
-			sentAt[seq] = t.B.W.Now()
-			sendViaRelay(nyChi.A, seq)
-			seq++
-			t.Run(appPeriod)
+			for _, r := range []tango.Route{direct, relayed} {
+				sentAt[seq] = mesh.Now()
+				onRoute[seq] = r.Relayed()
+				if err := mesh.Send(r, appPort, appPort, payload(seq)); err != nil {
+					panic(err)
+				}
+				seq++
+			}
+			mesh.Run(appPeriod)
 		}
 		d, r := directW.mean(), relayW.mean()
-		best := "direct"
-		if r < d {
-			best = "relay via CHI"
+		best, _ := mesh.BestRoute("ny", "la")
+		pick := "direct"
+		if best.Relayed() {
+			pick = "relay via " + best.Via[0]
 		}
 		fmt.Printf("  %-22s direct %8.2f ms   relay via CHI %8.2f ms   -> overlay picks %s\n",
-			label, ms(d), ms(r), best)
+			label, ms(d), ms(r), pick)
 	}
 	phase("before incident", lead)
 	phase("during incident", eventDur-time.Minute)
-	t.Run(3 * time.Minute) // let the reroute settle back
+	mesh.Run(3 * time.Minute) // let the reroute settle back
 	phase("after incident", 2*time.Minute)
 
-	fmt.Println("\na pair with one path has no choices; an overlay of pairs does (§6).")
+	fwd, _ := mesh.RelayStats("chi")
+	fmt.Printf("\nchi relayed %d packets end-to-end.\n", fwd)
+	fmt.Println("a pair with one path has no choices; an overlay of pairs does (§6).")
 }
-
-// ---- app plumbing ----
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
@@ -168,80 +153,4 @@ func payload(seq uint32) []byte {
 	b := make([]byte, 8)
 	binary.BigEndian.PutUint32(b, seq)
 	return b
-}
-
-// sendDirect sends an app packet from ny:la's host space to la:ny's.
-func sendDirect(s *core.Site, seq uint32) {
-	sendUDP(s, s.Peer(), appPort, payload(seq))
-}
-
-// sendViaRelay sends from ny:chi's host space to chi:ny, tagged for relay.
-func sendViaRelay(s *core.Site, seq uint32) {
-	sendUDP(s, s.Peer(), relayPort, payload(seq))
-}
-
-// relayRecv wires the CHI relay: relay-tagged packets arriving at the
-// chi:ny site are re-sent through the chi:la pair.
-func relayRecv(chiNY *core.Site, chiLa *core.Pair) {
-	chiNY.AddSink(func(inner []byte) bool {
-		seq, ok := parseApp(inner, relayPort)
-		if !ok {
-			return false
-		}
-		sendUDP(chiLa.A, chiLa.A.Peer(), appPort, payload(seq))
-		return true
-	})
-}
-
-// sinkApp collects app-port deliveries at a site.
-func sinkApp(site *core.Site, fn func(seq uint32)) {
-	site.AddSink(func(inner []byte) bool {
-		seq, ok := parseApp(inner, appPort)
-		if !ok {
-			return false
-		}
-		fn(seq)
-		return true
-	})
-}
-
-func parseApp(inner []byte, port uint16) (uint32, bool) {
-	// IPv6(40) + UDP(8): dst port at 42, payload at 48.
-	if len(inner) < 52 || inner[0]>>4 != 6 || inner[6] != 17 {
-		return 0, false
-	}
-	if binary.BigEndian.Uint16(inner[42:44]) != port {
-		return 0, false
-	}
-	return binary.BigEndian.Uint32(inner[48:52]), true
-}
-
-// sendUDP builds and sends an inner UDP packet between the two sites'
-// host prefixes through src's border switch.
-func sendUDP(src, dst *core.Site, port uint16, pay []byte) {
-	srcIP, err := src.Spec.HostPrefix.Host(7)
-	if err != nil {
-		panic(err)
-	}
-	dstIP, err := dst.Spec.HostPrefix.Host(7)
-	if err != nil {
-		panic(err)
-	}
-	pkt := buildUDP(srcIP, dstIP, port, pay)
-	src.Send(pkt)
-}
-
-// buildUDP serializes an inner IPv6/UDP packet.
-func buildUDP(src, dst netip.Addr, port uint16, pay []byte) []byte {
-	buf := packet.NewSerializeBuffer()
-	p := packet.Payload(pay)
-	udp := &packet.UDP{SrcPort: port, DstPort: port}
-	udp.SetNetworkForChecksum(src, dst)
-	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
-	if err := packet.SerializeLayers(buf, ip, udp, &p); err != nil {
-		panic(err)
-	}
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	return out
 }

@@ -9,6 +9,15 @@ import (
 	"tango/internal/topo"
 )
 
+func mustVultr(t *testing.T, seed int64) *topo.Scenario {
+	t.Helper()
+	s, err := topo.NewVultrScenario(topo.ScenarioConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestAdjacentProvider(t *testing.T) {
 	pop := bgp.ASVultr
 	cases := []struct {
@@ -38,7 +47,7 @@ func TestAdjacentProvider(t *testing.T) {
 // simulated deployment: traffic LA->NY must expose NTT, Telia, GTT, then
 // the NTT+Cogent path, in that order (§4.1, Figure 3).
 func TestDiscoveryVultrLAtoNY(t *testing.T) {
-	s := topo.NewVultrScenario(topo.ScenarioConfig{Seed: 10})
+	s := mustVultr(t, 10)
 	s.Run(5 * time.Minute) // establish + host prefixes
 
 	d := &Discoverer{
@@ -84,7 +93,7 @@ func TestDiscoveryVultrLAtoNY(t *testing.T) {
 // TestDiscoveryVultrNYtoLA checks the reverse direction: NTT, Telia, GTT,
 // Level3.
 func TestDiscoveryVultrNYtoLA(t *testing.T) {
-	s := topo.NewVultrScenario(topo.ScenarioConfig{Seed: 11})
+	s := mustVultr(t, 11)
 	s.Run(5 * time.Minute)
 
 	d := &Discoverer{
@@ -150,7 +159,7 @@ func TestPinCommunities(t *testing.T) {
 // discovery, four pinned prefixes each propagate over exactly their
 // provider.
 func TestPinnedPrefixesRouteViaDistinctProviders(t *testing.T) {
-	s := topo.NewVultrScenario(topo.ScenarioConfig{Seed: 12})
+	s := mustVultr(t, 12)
 	s.Run(5 * time.Minute)
 
 	paths := []DiscoveredPath{

@@ -17,7 +17,7 @@ import (
 // transits NTT) can never appear: only 3 paths are exposed. Communities
 // are the sharper knob; poisoning needs no provider support.
 func TestDiscoveryPoisoningFindsFewerPaths(t *testing.T) {
-	s := topo.NewVultrScenario(topo.ScenarioConfig{Seed: 15})
+	s := mustVultr(t, 15)
 	s.Run(5 * time.Minute)
 
 	name := func(a bgp.ASN) string { return topo.ProviderNameForPath(bgp.Path{a, bgp.ASVultr}) }

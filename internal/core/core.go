@@ -200,11 +200,11 @@ func (p *Pair) Establish() {
 		p.A.OutPaths = pathsAtoB
 		p.B.OutPaths = pathsBtoA
 		// Each site originates one pinned prefix per path toward it.
-		p.originatePinned(p.B, pathsAtoB) // A->B paths: B announces endpoints
-		p.originatePinned(p.A, pathsBtoA)
+		originatePinned(p.B, pathsAtoB) // A->B paths: B announces endpoints
+		originatePinned(p.A, pathsBtoA)
 		p.eng.Schedule(p.cfg.SettleWait, func() {
-			p.provision(p.A, p.B, pathsAtoB)
-			p.provision(p.B, p.A, pathsBtoA)
+			provision(p.A, p.B, pathsAtoB)
+			provision(p.B, p.A, pathsBtoA)
 			p.wireMeasurement()
 			p.ready = true
 			if p.OnReady != nil {
@@ -236,7 +236,7 @@ func (p *Pair) Establish() {
 
 // originatePinned has dst announce one /48 per incoming path, pinned to
 // that path's provider by suppressing all others.
-func (p *Pair) originatePinned(dst *Site, paths []control.DiscoveredPath) {
+func originatePinned(dst *Site, paths []control.DiscoveredPath) {
 	for i := range paths {
 		pfx, err := dst.Spec.Block.Subnet(48, i)
 		if err != nil {
@@ -253,7 +253,7 @@ func (p *Pair) originatePinned(dst *Site, paths []control.DiscoveredPath) {
 }
 
 // provision creates src's outgoing tunnels toward dst's endpoints.
-func (p *Pair) provision(src, dst *Site, paths []control.DiscoveredPath) {
+func provision(src, dst *Site, paths []control.DiscoveredPath) {
 	for i, dp := range paths {
 		src.Switch.AddTunnel(&dataplane.Tunnel{
 			PathID:     uint8(i + 1),
@@ -266,36 +266,56 @@ func (p *Pair) provision(src, dst *Site, paths []control.DiscoveredPath) {
 	src.Switch.AddPeerPrefix(dst.Spec.HostPrefix)
 }
 
-func (p *Pair) wireMeasurement() {
-	if len(p.cfg.AuthKey) > 0 {
-		p.A.Switch.SetAuthKey(p.cfg.AuthKey)
-		p.B.Switch.SetAuthKey(p.cfg.AuthKey)
+// measureConfig is the per-direction slice of PairConfig consumed by
+// wireSiteMeasurement; Mesh builds one per member from its own config.
+type measureConfig struct {
+	Policy         control.Policy
+	ReportInterval time.Duration
+	DecideEvery    time.Duration
+	RecordBucket   time.Duration
+	AuthKey        []byte
+}
+
+// wireSiteMeasurement attaches the measurement loop to one site: the
+// receiver-side monitor (named after the peer's outgoing paths), the
+// sender-side controller fed by piggybacked reports, and the reporter
+// that generates them.
+func wireSiteMeasurement(eng *sim.Engine, s *Site, mc measureConfig) {
+	if len(mc.AuthKey) > 0 {
+		s.Switch.SetAuthKey(mc.AuthKey)
 	}
+	peer := s.peer
+	s.Monitor.RecordBucket = mc.RecordBucket
+	s.Monitor.Attach(s.Switch, func(id uint8) string { return peer.PathName(id) })
+
+	s.Controller = control.NewController(eng, s.Switch, mc.Policy)
+	s.Controller.AttachFeedback(s.Switch)
+	if mc.DecideEvery > 0 {
+		s.Controller.Start(mc.DecideEvery)
+	}
+	if mc.ReportInterval > 0 {
+		s.Reporter = control.NewReporter(eng, s.Monitor, s.Switch, mc.ReportInterval)
+		// A path that stops delivering packets must stop being
+		// reported, so the sender's estimate goes stale and its
+		// policy evacuates.
+		maxAge := 2 * time.Second
+		if v := 5 * mc.ReportInterval; v > maxAge {
+			maxAge = v
+		}
+		s.Reporter.MaxAge = maxAge
+	}
+}
+
+func (p *Pair) wireMeasurement() {
 	cfgPolicies := map[*Site]control.Policy{p.A: p.cfg.PolicyA, p.B: p.cfg.PolicyB}
 	for _, s := range []*Site{p.A, p.B} {
-		peer := s.peer
-		s.Monitor.RecordBucket = p.cfg.RecordBucket
-		nameFor := func(peer *Site) func(uint8) string {
-			return func(id uint8) string { return peer.PathName(id) }
-		}(peer)
-		s.Monitor.Attach(s.Switch, nameFor)
-
-		s.Controller = control.NewController(p.eng, s.Switch, cfgPolicies[s])
-		s.Controller.AttachFeedback(s.Switch)
-		if p.cfg.DecideEvery > 0 {
-			s.Controller.Start(p.cfg.DecideEvery)
-		}
-		if p.cfg.ReportInterval > 0 {
-			s.Reporter = control.NewReporter(p.eng, s.Monitor, s.Switch, p.cfg.ReportInterval)
-			// A path that stops delivering packets must stop being
-			// reported, so the sender's estimate goes stale and its
-			// policy evacuates.
-			maxAge := 2 * time.Second
-			if v := 5 * p.cfg.ReportInterval; v > maxAge {
-				maxAge = v
-			}
-			s.Reporter.MaxAge = maxAge
-		}
+		wireSiteMeasurement(p.eng, s, measureConfig{
+			Policy:         cfgPolicies[s],
+			ReportInterval: p.cfg.ReportInterval,
+			DecideEvery:    p.cfg.DecideEvery,
+			RecordBucket:   p.cfg.RecordBucket,
+			AuthKey:        p.cfg.AuthKey,
+		})
 	}
 	if p.cfg.ProbeInterval > 0 {
 		aHost, _ := p.A.Spec.HostPrefix.Host(0xfffd)
@@ -328,7 +348,7 @@ func VultrPair(s *topo.Scenario, cfg PairConfig) *Pair {
 		POPAS:       bgp.ASVultr,
 		Block:       s.BlockNY,
 		HostPrefix:  s.HostNY,
-		ProbePrefix: addr.MustParsePrefix("2001:db8:1f0::/48"),
+		ProbePrefix: s.Probe["ny:la"],
 	}
 	cfg.B = SiteSpec{
 		Name:        "la",
@@ -336,7 +356,7 @@ func VultrPair(s *topo.Scenario, cfg PairConfig) *Pair {
 		POPAS:       bgp.ASVultr,
 		Block:       s.BlockLA,
 		HostPrefix:  s.HostLA,
-		ProbePrefix: addr.MustParsePrefix("2001:db8:2f0::/48"),
+		ProbePrefix: s.Probe["la:ny"],
 	}
 	return NewPair(cfg)
 }

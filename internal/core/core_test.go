@@ -11,7 +11,10 @@ import (
 // establish builds the Vultr scenario and a ready Pair with probing on.
 func establish(t *testing.T, seed int64, cfg PairConfig) (*topo.Scenario, *Pair) {
 	t.Helper()
-	s := topo.NewVultrScenario(topo.ScenarioConfig{Seed: seed})
+	s, err := topo.NewVultrScenario(topo.ScenarioConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Run(5 * time.Minute) // base convergence
 	p := VultrPair(s, cfg)
 	p.Establish()

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tango/internal/bgp"
+	"tango/internal/control"
+	"tango/internal/dataplane"
+	"tango/internal/packet"
+	"tango/internal/sim"
+	"tango/internal/topo"
+)
+
+// Mesh promotes the two-site Pair to N sites (§6, "from Tango of 2 to
+// Tango of N"): Tango is deployed pairwise between adjacent sites — each
+// deployment owning its own discovery, pinned prefixes and measurement
+// loop — and a relay layer composes the segments into end-to-end overlay
+// routes. The composite table scores every route (direct or relayed)
+// from the live per-segment estimates; the data plane forwards relayed
+// packets by re-encapsulating them onto the next segment at each
+// intermediate site.
+//
+// Addressing follows prefixes-as-routes one level up: each site runs one
+// member (edge server) per deployed pair, and a member's host prefix
+// uniquely identifies the final overlay segment. The origin therefore
+// selects a route by choosing which member's prefix to target — no
+// per-packet route header beyond the relay TTL.
+
+// MeshLink declares one deployed pair of the mesh: the two site names
+// and the per-side specs (edge server, prefixes, POP AS).
+type MeshLink struct {
+	SiteA, SiteB string
+	A, B         SiteSpec
+}
+
+// MeshConfig configures an N-site deployment. The per-pair timing knobs
+// mirror PairConfig and apply to every deployed pair.
+type MeshConfig struct {
+	Links []MeshLink
+	// RoundWait/SettleWait/ProbeInterval/ReportInterval/DecideEvery are
+	// passed through to each pair (see PairConfig).
+	RoundWait      time.Duration
+	SettleWait     time.Duration
+	ProbeInterval  time.Duration
+	ReportInterval time.Duration
+	DecideEvery    time.Duration
+	// NewPolicy builds the path-selection policy steering traffic from
+	// site toward peer. Policies hold state (dwell timers), so the mesh
+	// needs a fresh instance per direction; nil uses the Pair default.
+	NewPolicy func(site, peer string) control.Policy
+	// NameFor labels provider ASNs (default topo's Vultr names).
+	NameFor func(bgp.ASN) string
+	// RecordBucket enables per-path OWD series recording.
+	RecordBucket time.Duration
+	// AuthKey enables authenticated telemetry on every switch.
+	AuthKey []byte
+	// MaxRelays bounds intermediate sites per overlay route (0 = the
+	// default of 1; -1 = direct only). See control.CompositeTable.
+	MaxRelays int
+	// StaleAfter discards a segment's estimate when its freshest path
+	// sample is older than this (default 10 s virtual); a silent segment
+	// then poisons the routes through it.
+	StaleAfter time.Duration
+}
+
+// Mesh is an established N-site deployment.
+type Mesh struct {
+	// Table scores end-to-end routes from the live segment estimates.
+	Table *control.CompositeTable
+
+	cfg     MeshConfig
+	eng     *sim.Engine
+	pairs   []*Pair
+	members map[string]map[string]*Site // members[site][peer]
+	relays  map[string]*dataplane.Relay // one per site, attached to all members
+	ready   bool
+	// OnReady fires once every pair is provisioned and relays are wired.
+	OnReady func()
+}
+
+// NewMesh prepares (but does not start) an N-site deployment.
+func NewMesh(cfg MeshConfig) (*Mesh, error) {
+	if len(cfg.Links) == 0 {
+		return nil, fmt.Errorf("core: mesh needs at least one link")
+	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = 10 * time.Second
+	}
+	m := &Mesh{
+		Table:   control.NewCompositeTable(),
+		cfg:     cfg,
+		members: map[string]map[string]*Site{},
+		relays:  map[string]*dataplane.Relay{},
+	}
+	m.Table.MaxRelays = cfg.MaxRelays
+	m.Table.Source = m.segmentEstimate
+
+	eng := cfg.Links[0].A.Edge.Speaker.Engine()
+	for _, l := range cfg.Links {
+		if l.SiteA == "" || l.SiteB == "" || l.SiteA == l.SiteB {
+			return nil, fmt.Errorf("core: bad link %q:%q", l.SiteA, l.SiteB)
+		}
+		if m.members[l.SiteA][l.SiteB] != nil || m.members[l.SiteB][l.SiteA] != nil {
+			return nil, fmt.Errorf("core: duplicate link %s:%s", l.SiteA, l.SiteB)
+		}
+		if l.A.Edge.Speaker.Engine() != eng || l.B.Edge.Speaker.Engine() != eng {
+			return nil, fmt.Errorf("core: link %s:%s on a different engine", l.SiteA, l.SiteB)
+		}
+		pc := PairConfig{
+			A: l.A, B: l.B,
+			RoundWait:      cfg.RoundWait,
+			SettleWait:     cfg.SettleWait,
+			ProbeInterval:  cfg.ProbeInterval,
+			ReportInterval: cfg.ReportInterval,
+			DecideEvery:    cfg.DecideEvery,
+			NameFor:        cfg.NameFor,
+			RecordBucket:   cfg.RecordBucket,
+			AuthKey:        cfg.AuthKey,
+		}
+		if cfg.NewPolicy != nil {
+			pc.PolicyA = cfg.NewPolicy(l.SiteA, l.SiteB)
+			pc.PolicyB = cfg.NewPolicy(l.SiteB, l.SiteA)
+		}
+		p := NewPair(pc)
+		m.pairs = append(m.pairs, p)
+		m.addMember(l.SiteA, l.SiteB, p.A)
+		m.addMember(l.SiteB, l.SiteA, p.B)
+		m.Table.AddLink(l.SiteA, l.SiteB)
+	}
+	m.eng = eng
+
+	// One relay per site, attached to every member switch: a relayed
+	// packet arrives at whichever member terminates the previous segment
+	// and leaves through the member facing the next one.
+	for site, peers := range m.members {
+		r := dataplane.NewRelay()
+		m.relays[site] = r
+		for _, s := range peers {
+			r.Attach(s.Switch)
+		}
+	}
+	return m, nil
+}
+
+func (m *Mesh) addMember(site, peer string, s *Site) {
+	if m.members[site] == nil {
+		m.members[site] = map[string]*Site{}
+	}
+	m.members[site][peer] = s
+}
+
+// Ready reports whether every pair finished establishing.
+func (m *Mesh) Ready() bool { return m.ready }
+
+// Sites returns the mesh's site names, sorted.
+func (m *Mesh) Sites() []string { return m.Table.Sites() }
+
+// Member returns the site's edge server facing peer, or nil.
+func (m *Mesh) Member(site, peer string) *Site { return m.members[site][peer] }
+
+// Relay returns the site's relay program (for stats inspection).
+func (m *Mesh) Relay(site string) *dataplane.Relay { return m.relays[site] }
+
+// Pairs returns the underlying pairwise deployments in link order.
+func (m *Mesh) Pairs() []*Pair { return m.pairs }
+
+// Establish starts every pair's establishment sequence concurrently —
+// each pair owns distinct probe and pinned prefixes, so the discovery
+// rounds do not interfere — and wires the relay tables once all pairs
+// are provisioned.
+func (m *Mesh) Establish() {
+	remaining := len(m.pairs)
+	for _, p := range m.pairs {
+		p.OnReady = func() {
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			m.wireRelays()
+			m.ready = true
+			if m.OnReady != nil {
+				m.OnReady()
+			}
+		}
+		p.Establish()
+	}
+}
+
+// RunUntilReady drives the engine until establishment completes or the
+// deadline passes, reporting success.
+func (m *Mesh) RunUntilReady(maxVirtual time.Duration) bool {
+	deadline := m.eng.Now() + maxVirtual
+	for !m.ready && m.eng.Now() < deadline {
+		step := 10 * time.Second
+		if remaining := deadline - m.eng.Now(); remaining < step {
+			step = remaining
+		}
+		m.eng.Run(m.eng.Now() + step)
+	}
+	return m.ready
+}
+
+// wireRelays installs the overlay forwarding state for every enumerable
+// relayed route: the origin member tags traffic for the final member's
+// host prefix with the segment-count TTL, and each intermediate site's
+// relay maps that prefix to the egress member of its next segment.
+//
+// With the default MaxRelays of 1 the final member's prefix uniquely
+// identifies the route, so the tables are conflict-free. Longer chains
+// can share a final prefix across routes; enumeration order (sorted
+// sites, best-first routes) then makes the last write deterministic.
+func (m *Mesh) wireRelays() {
+	sites := m.Table.Sites()
+	for _, src := range sites {
+		for _, dst := range sites {
+			if src == dst {
+				continue
+			}
+			for _, r := range m.Table.Routes(src, dst) {
+				if r.Direct() {
+					continue
+				}
+				seq := r.Segments()
+				origin := m.members[src][seq[1]]
+				final := m.members[dst][seq[len(seq)-2]]
+				origin.Switch.AddRelayPrefix(final.Spec.HostPrefix, uint8(len(seq)-1))
+				for i := 1; i+1 < len(seq); i++ {
+					m.relays[seq[i]].AddRoute(final.Spec.HostPrefix, m.members[seq[i]][seq[i+1]].Switch)
+				}
+			}
+		}
+	}
+}
+
+// segmentEstimate scores one overlay segment from the receiving member's
+// monitor: the minimum smoothed OWD across that segment's live paths
+// (each pair's controller steers onto its best path, so the segment
+// contributes its best) plus that path's smoothed jitter. Values stay in
+// the receiver's clock domain; see the package comment in
+// control/routes.go for why composite comparisons remain exact.
+func (m *Mesh) segmentEstimate(from, to string) control.SegmentEstimate {
+	recv := m.members[to][from]
+	if recv == nil {
+		return control.SegmentEstimate{}
+	}
+	var est control.SegmentEstimate
+	for _, pm := range recv.Monitor.Paths() {
+		if pm.Est == nil || !pm.Est.Valid() {
+			continue
+		}
+		if m.eng.Now()-pm.LastAt > m.cfg.StaleAfter {
+			continue
+		}
+		if !est.Valid || pm.Est.Value() < est.OWDMs {
+			est = control.SegmentEstimate{
+				OWDMs:    pm.Est.Value(),
+				JitterMs: pm.JitEst.Value(),
+				Valid:    true,
+			}
+		}
+	}
+	return est
+}
+
+// Routes returns every end-to-end route from src to dst, scored and
+// sorted best-first.
+func (m *Mesh) Routes(src, dst string) []control.CompositeRoute {
+	return m.Table.Routes(src, dst)
+}
+
+// Best returns the current best valid route.
+func (m *Mesh) Best(src, dst string) (control.CompositeRoute, bool) {
+	return m.Table.Best(src, dst)
+}
+
+// RouteMembers resolves a route to its origin member (where traffic
+// enters the overlay) and final member (whose host prefix it targets).
+func (m *Mesh) RouteMembers(r control.CompositeRoute) (origin, final *Site, err error) {
+	seq := r.Segments()
+	if len(seq) < 2 {
+		return nil, nil, fmt.Errorf("core: route %v too short", seq)
+	}
+	origin = m.members[r.Src][seq[1]]
+	final = m.members[r.Dst][seq[len(seq)-2]]
+	if origin == nil || final == nil {
+		return nil, nil, fmt.Errorf("core: route %v crosses undeployed links", seq)
+	}
+	return origin, final, nil
+}
+
+// SendAlong injects one application packet onto a specific route: the
+// inner packet is addressed from the origin member's host space to the
+// final member's, which the data plane maps to direct tunnelling (direct
+// routes) or relay-tagged encapsulation (relayed routes).
+func (m *Mesh) SendAlong(r control.CompositeRoute, sport, dport uint16, payload []byte) error {
+	origin, final, err := m.RouteMembers(r)
+	if err != nil {
+		return err
+	}
+	src, err := origin.HostAddr()
+	if err != nil {
+		return err
+	}
+	dst, err := final.HostAddr()
+	if err != nil {
+		return err
+	}
+	inner, err := buildInner(src, dst, sport, dport, payload)
+	if err != nil {
+		return err
+	}
+	origin.Send(inner)
+	return nil
+}
+
+// AddSink registers a delivery consumer on every member of a site, so
+// the sink sees traffic regardless of which overlay route carried it.
+func (m *Mesh) AddSink(site string, fn func(inner []byte) bool) {
+	for _, s := range m.members[site] {
+		s.AddSink(fn)
+	}
+}
+
+// MeshFromScenario deploys Tango over every pair of a built topo mesh,
+// deriving the per-side SiteSpecs from the scenario's allocated edges
+// and prefixes. cfg.Links is filled in; other fields pass through.
+func MeshFromScenario(s *topo.MeshScenario, cfg MeshConfig) (*Mesh, error) {
+	for _, pk := range s.PairKeys {
+		a, b := pk[0], pk[1]
+		ka, kb := a+":"+b, b+":"+a
+		cfg.Links = append(cfg.Links, MeshLink{
+			SiteA: a, SiteB: b,
+			A: SiteSpec{
+				Name:        ka,
+				Edge:        s.Edges[ka],
+				POPAS:       s.POPs[a].ASN,
+				Block:       s.Block[ka],
+				HostPrefix:  s.HostPrefix[ka],
+				ProbePrefix: s.Probe[ka],
+			},
+			B: SiteSpec{
+				Name:        kb,
+				Edge:        s.Edges[kb],
+				POPAS:       s.POPs[b].ASN,
+				Block:       s.Block[kb],
+				HostPrefix:  s.HostPrefix[kb],
+				ProbePrefix: s.Probe[kb],
+			},
+		})
+	}
+	return NewMesh(cfg)
+}
+
+// HostAddr returns the canonical application address (::1) inside the
+// member's host prefix — the address SendAlong targets.
+func (s *Site) HostAddr() (netip.Addr, error) { return s.Spec.HostPrefix.Host(1) }
+
+// buildInner serializes a minimal inner IPv6/UDP packet.
+func buildInner(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(payload)
+	udp := &packet.UDP{SrcPort: sport, DstPort: dport}
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}

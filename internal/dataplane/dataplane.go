@@ -92,6 +92,17 @@ type Switch struct {
 	// as both endpoints are cooperating", §3).
 	peerHosts addr.Trie[bool]
 
+	// relayHosts marks inner destination prefixes reachable through an
+	// overlay relay beyond the direct peer, mapped to the relay-TTL
+	// budget to stamp on the encapsulation (the number of remaining
+	// overlay segments). Checked after peerHosts, so the direct peer's
+	// prefixes always take the single-segment path.
+	relayHosts addr.Trie[uint8]
+
+	// relay, when set, is consulted for arriving relay-tagged packets
+	// before local delivery.
+	relay *Relay
+
 	selector Selector
 
 	// OnMeasure receives every receiver-side observation.
@@ -132,6 +143,10 @@ type Switch struct {
 		AuthFail     uint64
 		ReportsSent  uint64
 		ReportsRecvd uint64
+		// Relayed counts arriving packets handed to the relay program
+		// (forwarded onward or dropped by its TTL guard) instead of
+		// delivered locally.
+		Relayed uint64
 	}
 }
 
@@ -191,6 +206,12 @@ func (s *Switch) Tunnel(pathID uint8) (*Tunnel, bool) {
 // cooperating switch.
 func (s *Switch) AddPeerPrefix(p addr.Prefix) { s.peerHosts.Insert(p, true) }
 
+// AddRelayPrefix marks an inner destination prefix as reachable through
+// an overlay relay: matching host traffic is encapsulated toward the
+// direct peer with the relay extension set and the given TTL budget
+// (normally the number of overlay segments on the route).
+func (s *Switch) AddRelayPrefix(p addr.Prefix, ttl uint8) { s.relayHosts.Insert(p, ttl) }
+
 // SetSelector installs the path-selection policy. With none installed the
 // first registered tunnel carries everything.
 func (s *Switch) SetSelector(sel Selector) { s.selector = sel }
@@ -220,14 +241,14 @@ func (s *Switch) QueueReport(r packet.OWDReport) {
 // encapsulate, timestamp, inject. Exposed for hosts colocated with the
 // switch; transit host traffic goes through the node handler.
 func (s *Switch) SendToPeer(inner []byte) {
-	s.encapAndSend(inner)
+	s.encapAndSend(inner, 0)
 }
 
 // SendOnTunnel encapsulates inner onto a specific tunnel, bypassing the
 // selector. The measurement prober uses it to exercise every exposed
 // path at a fixed rate regardless of where data traffic currently flows.
 func (s *Switch) SendOnTunnel(tun *Tunnel, inner []byte) {
-	s.encapOn(tun, inner)
+	s.encapOn(tun, inner, 0)
 }
 
 // handle is the node's local-delivery hook: every packet addressed to one
@@ -251,7 +272,11 @@ func (s *Switch) HandleHostTraffic(data []byte) {
 		return
 	}
 	if _, _, tango := s.peerHosts.Lookup(dst); tango {
-		s.encapAndSend(data)
+		s.encapAndSend(data, 0)
+		return
+	}
+	if ttl, _, ok := s.relayHosts.Lookup(dst); ok {
+		s.encapAndSend(data, ttl)
 		return
 	}
 	s.node.Inject(data)
@@ -276,18 +301,19 @@ func innerDst(data []byte) (netip.Addr, bool) {
 	return netip.Addr{}, false
 }
 
-// encapAndSend is the sender eBPF program.
-func (s *Switch) encapAndSend(inner []byte) {
+// encapAndSend is the sender eBPF program. A relayTTL above zero tags the
+// encapsulation for overlay relaying with that hop budget.
+func (s *Switch) encapAndSend(inner []byte, relayTTL uint8) {
 	var tun *Tunnel
 	if s.selector != nil {
 		tun = s.selector(inner)
 	} else if len(s.tunnels) > 0 {
 		tun = s.tunnels[0]
 	}
-	s.encapOn(tun, inner)
+	s.encapOn(tun, inner, relayTTL)
 }
 
-func (s *Switch) encapOn(tun *Tunnel, inner []byte) {
+func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8) {
 	if tun == nil {
 		s.Stats.NoTunnel++
 		return
@@ -301,6 +327,10 @@ func (s *Switch) encapOn(tun *Tunnel, inner []byte) {
 		PathID:   tun.PathID,
 		Seq:      tun.nextSeq(),
 		SendTime: s.clock.Now(),
+	}
+	if relayTTL > 0 {
+		hdr.ExtFlags |= packet.TangoExtRelay
+		hdr.RelayTTL = relayTTL
 	}
 	if len(s.pendingReports) > 0 {
 		hdr.Flags |= packet.TangoFlagReport
@@ -413,9 +443,20 @@ func (s *Switch) receiverProgram(data []byte) {
 	}
 	s.Stats.Decapped++
 	inner := hdr.LayerPayload()
-	if len(inner) > 0 {
-		out := make([]byte, len(inner))
-		copy(out, inner)
-		s.DeliverLocal(out)
+	if len(inner) == 0 {
+		return
 	}
+	// Relay program: a tagged packet whose inner destination has a next
+	// overlay segment here is re-encapsulated, not delivered. The
+	// measurement above already ran, so each segment's monitor sees
+	// relayed traffic like any other.
+	if hdr.ExtFlags&packet.TangoExtRelay != 0 && s.relay != nil {
+		if s.relay.forward(inner, hdr.RelayTTL) {
+			s.Stats.Relayed++
+			return
+		}
+	}
+	out := make([]byte, len(inner))
+	copy(out, inner)
+	s.DeliverLocal(out)
 }

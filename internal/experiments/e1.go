@@ -17,7 +17,10 @@ import (
 // Level3.
 func E1PathDiscovery(cfg Config) *Result {
 	r := newResult("E1", "Path diversity through cooperative discovery (Fig. 3, §4.1)")
-	s := topo.NewVultrScenario(topo.ScenarioConfig{Seed: cfg.Seed})
+	s, err := topo.NewVultrScenario(topo.ScenarioConfig{Seed: cfg.Seed})
+	if err != nil {
+		panic(err) // fixed config; cannot fail
+	}
 	s.Run(5 * time.Minute)
 
 	nameFor := func(a bgp.ASN) string {

@@ -150,6 +150,7 @@ func All(cfg Config) []*Result {
 		E7MeasurementSoundness(cfg),
 		E8DataPlaneCost(cfg),
 		E9LossReorder(cfg),
+		E10MeshOverlay(cfg),
 	}
 }
 

@@ -56,6 +56,10 @@ func TestE9(t *testing.T) {
 	requirePassed(t, E9LossReorder(Config{Seed: 1, Duration: 2 * time.Minute}))
 }
 
+func TestE10(t *testing.T) {
+	requirePassed(t, E10MeshOverlay(Config{Seed: 1, Duration: 90 * time.Second}))
+}
+
 func TestResultRendering(t *testing.T) {
 	r := newResult("EX", "rendering")
 	r.Rows = [][]string{{"a", "b"}, {"1", "2"}}

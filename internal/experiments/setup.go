@@ -39,11 +39,14 @@ func newLab(o labOpts) *lab {
 	if o.clockNY == 0 && o.clockLA == 0 {
 		o.clockNY, o.clockLA = 1700*time.Millisecond, -900*time.Millisecond
 	}
-	s := topo.NewVultrScenario(topo.ScenarioConfig{
+	s, err := topo.NewVultrScenario(topo.ScenarioConfig{
 		Seed:          o.seed,
 		ClockOffsetNY: o.clockNY,
 		ClockOffsetLA: o.clockLA,
 	})
+	if err != nil {
+		panic(err) // fixed config; cannot fail
+	}
 	s.Run(5 * time.Minute)
 	p := core.VultrPair(s, core.PairConfig{
 		ProbeInterval: o.probeInterval,

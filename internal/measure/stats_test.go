@@ -355,3 +355,97 @@ func TestSeqTrackerConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSeqTrackerLossAcrossWrap(t *testing.T) {
+	var s SeqTracker
+	s.Add(0xfffffffe)
+	s.Add(2) // 0xffffffff, 0, 1 lost across the wrap point
+	if s.Lost != 3 {
+		t.Fatalf("Lost = %d, want 3", s.Lost)
+	}
+	if s.Add(3) != "ok" {
+		t.Fatal("post-wrap in-order flagged")
+	}
+}
+
+func TestSeqTrackerReorderAcrossWrap(t *testing.T) {
+	var s SeqTracker
+	s.Add(0xfffffffd)
+	s.Add(0xffffffff) // 0xfffffffe provisionally lost
+	s.Add(1)          // 0 provisionally lost
+	if s.Lost != 2 {
+		t.Fatalf("Lost = %d, want 2", s.Lost)
+	}
+	// Both stragglers arrive late, one from each side of the wrap.
+	if s.Add(0xfffffffe) != "reorder" {
+		t.Fatal("pre-wrap straggler not a reorder")
+	}
+	if s.Add(0) != "reorder" {
+		t.Fatal("post-wrap straggler not a reorder")
+	}
+	if s.Lost != 0 || s.Reordered != 2 || s.Dup != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSeqTrackerDeepReorderBurst(t *testing.T) {
+	// A whole flight arrives behind a later packet: every late packet
+	// converts its provisional loss, then normal progress resumes.
+	var s SeqTracker
+	s.Add(0)
+	s.Add(10)
+	if s.Lost != 9 {
+		t.Fatalf("Lost = %d, want 9", s.Lost)
+	}
+	for i := uint32(1); i < 10; i++ {
+		if got := s.Add(i); got != "reorder" {
+			t.Fatalf("Add(%d) = %q, want reorder", i, got)
+		}
+	}
+	if s.Lost != 0 || s.Reordered != 9 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Add(11) != "ok" {
+		t.Fatal("in-order after burst flagged")
+	}
+	if s.LossRate() != 0 {
+		t.Fatalf("LossRate = %v", s.LossRate())
+	}
+}
+
+func TestSeqTrackerLateThenDuplicate(t *testing.T) {
+	// A late arrival fills its gap exactly once; a second copy is a dup.
+	var s SeqTracker
+	s.Add(1)
+	s.Add(3)
+	if s.Add(2) != "reorder" {
+		t.Fatal("first late copy not a reorder")
+	}
+	if s.Add(2) != "dup" {
+		t.Fatal("second late copy not a dup")
+	}
+	if s.Lost != 0 || s.Reordered != 1 || s.Dup != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSeqTrackerGapTrackingBounded(t *testing.T) {
+	// A huge gap counts fully as loss, but late-arrival tracking is
+	// bounded: stragglers beyond the tracked window register as dups
+	// rather than growing state without limit.
+	var s SeqTracker
+	s.Add(0)
+	s.Add(10000)
+	if s.Lost != 9999 {
+		t.Fatalf("Lost = %d, want 9999", s.Lost)
+	}
+	if s.Add(100) != "reorder" {
+		t.Fatal("straggler inside tracked window not a reorder")
+	}
+	if s.Add(9000) != "dup" {
+		t.Fatal("straggler beyond tracked window should degrade to dup")
+	}
+	if s.Reordered != 1 || s.Dup != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

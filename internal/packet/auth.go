@@ -53,6 +53,9 @@ func tangoTagOffset(data []byte) (int, error) {
 	if flags&TangoFlagReport != 0 {
 		off += tangoReportLen
 	}
+	if ext&TangoExtRelay != 0 {
+		off += tangoRelayLen
+	}
 	if len(data) < off+tangoAuthLen {
 		return 0, errShortAuth
 	}

@@ -17,11 +17,23 @@ const (
 )
 
 // tangoFixedLen is the fixed header size; tangoReportLen the optional
-// piggybacked report block.
+// piggybacked report block; tangoRelayLen the optional relay block.
 const (
 	tangoFixedLen  = 16
 	tangoReportLen = 20
+	tangoRelayLen  = 4
 )
+
+// TangoExtRelay marks a 4-byte relay block following the fixed header
+// (and report block, when present): one TTL byte plus three reserved
+// bytes. A border switch holding a relay table for the packet's inner
+// destination re-encapsulates the inner packet onto the next overlay
+// segment instead of delivering it locally; the TTL bounds the number of
+// relay hops so a misconfigured relay table cannot loop a packet
+// forever. Relaying is the §6 "Tango of N" composition: each segment is
+// an ordinary pairwise Tango deployment with its own path IDs, sequence
+// numbers, and timestamps.
+const TangoExtRelay = 1 << 1
 
 // Tango is the encapsulation header the sender-side program inserts
 // between the outer UDP header and the tunnelled (inner) packet:
@@ -56,6 +68,11 @@ type Tango struct {
 	PathID   uint8
 	Seq      uint32
 	SendTime int64 // sender wall clock, nanoseconds
+
+	// RelayTTL is the remaining relay-hop budget; valid when
+	// ExtFlags&TangoExtRelay != 0. A relay forwards only when it is
+	// above 1, decrementing as it re-encapsulates.
+	RelayTTL uint8
 
 	// AuthTag is the decoded authentication tag (nil when absent). It
 	// aliases the decode buffer.
@@ -101,6 +118,9 @@ func (t *Tango) HeaderLen() int {
 	if t.Flags&TangoFlagReport != 0 {
 		n += tangoReportLen
 	}
+	if t.ExtFlags&TangoExtRelay != 0 {
+		n += tangoRelayLen
+	}
 	if t.ExtFlags&TangoExtAuth != 0 {
 		n += tangoAuthLen
 	}
@@ -116,6 +136,11 @@ func (t *Tango) SerializeTo(buf *SerializeBuffer) error {
 		// Reserve a zeroed tag; the data plane signs the finished
 		// datagram (it owns the key).
 		buf.PrependBytes(tangoAuthLen)
+	}
+	if t.ExtFlags&TangoExtRelay != 0 {
+		b := buf.PrependBytes(tangoRelayLen)
+		b[0] = t.RelayTTL
+		b[1], b[2], b[3] = 0, 0, 0
 	}
 	if t.Flags&TangoFlagReport != 0 {
 		b := buf.PrependBytes(tangoReportLen)
@@ -159,6 +184,15 @@ func (t *Tango) DecodeFromBytes(data []byte) error {
 		off += tangoReportLen
 	} else {
 		t.Report = OWDReport{}
+	}
+	if t.ExtFlags&TangoExtRelay != 0 {
+		if len(data) < off+tangoRelayLen {
+			return fmt.Errorf("tango: %w relay block", errTruncated)
+		}
+		t.RelayTTL = data[off]
+		off += tangoRelayLen
+	} else {
+		t.RelayTTL = 0
 	}
 	if t.ExtFlags&TangoExtAuth != 0 {
 		if len(data) < off+tangoAuthLen {

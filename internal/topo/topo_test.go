@@ -13,8 +13,17 @@ import (
 
 func converge(s *Scenario) { s.Run(5 * time.Minute) }
 
+func mustVultr(t *testing.T, cfg ScenarioConfig) *Scenario {
+	t.Helper()
+	s, err := NewVultrScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestScenarioConverges(t *testing.T) {
-	s := NewVultrScenario(ScenarioConfig{Seed: 1})
+	s := mustVultr(t, ScenarioConfig{Seed: 1})
 	converge(s)
 
 	// Each edge learns the other's host prefix.
@@ -42,7 +51,7 @@ func TestScenarioConverges(t *testing.T) {
 }
 
 func TestScenarioDataPlaneDefaultPath(t *testing.T) {
-	s := NewVultrScenario(ScenarioConfig{Seed: 2})
+	s := mustVultr(t, ScenarioConfig{Seed: 2})
 	converge(s)
 
 	// Send a packet from the NY edge to an address in LA's host
@@ -88,7 +97,7 @@ func TestScenarioDataPlaneDefaultPath(t *testing.T) {
 }
 
 func TestScenarioSuppressionExposesAlternatePaths(t *testing.T) {
-	s := NewVultrScenario(ScenarioConfig{Seed: 3})
+	s := mustVultr(t, ScenarioConfig{Seed: 3})
 	converge(s)
 
 	probe := addr.MustParsePrefix("2001:db8:111::/48")
@@ -127,7 +136,7 @@ func TestScenarioSuppressionExposesAlternatePaths(t *testing.T) {
 }
 
 func TestScenarioReversePathsIncludeLevel3(t *testing.T) {
-	s := NewVultrScenario(ScenarioConfig{Seed: 4})
+	s := mustVultr(t, ScenarioConfig{Seed: 4})
 	converge(s)
 
 	probe := addr.MustParsePrefix("2001:db8:222::/48")
@@ -144,13 +153,13 @@ func TestScenarioReversePathsIncludeLevel3(t *testing.T) {
 }
 
 func TestScenarioClockOffsets(t *testing.T) {
-	s := NewVultrScenario(ScenarioConfig{Seed: 5})
+	s := mustVultr(t, ScenarioConfig{Seed: 5})
 	offNY := s.EdgeNY.Node.Clock().Offset()
 	offLA := s.EdgeLA.Node.Clock().Offset()
 	if offNY == offLA {
 		t.Fatal("edge clocks are synchronized; scenario must model skew")
 	}
-	s2 := NewVultrScenario(ScenarioConfig{Seed: 5, ClockOffsetNY: time.Second, ClockOffsetLA: 2 * time.Second})
+	s2 := mustVultr(t, ScenarioConfig{Seed: 5, ClockOffsetNY: time.Second, ClockOffsetLA: 2 * time.Second})
 	if s2.EdgeNY.Node.Clock().Offset() != time.Second {
 		t.Fatal("clock offset override ignored")
 	}
@@ -176,7 +185,7 @@ func TestProviderNameForPath(t *testing.T) {
 }
 
 func TestTrunkHandles(t *testing.T) {
-	s := NewVultrScenario(ScenarioConfig{Seed: 6})
+	s := mustVultr(t, ScenarioConfig{Seed: 6})
 	for _, name := range []string{"NTT", "Telia", "GTT", "Level3"} {
 		if s.TrunkToLA[name] == nil {
 			t.Fatalf("TrunkToLA[%s] missing", name)
@@ -203,9 +212,17 @@ func TestWireDefaultsAndDefaultRoute(t *testing.T) {
 	if sx.Relation() != bgp.RelPeer || sy.Relation() != bgp.RelPeer {
 		t.Fatal("peer relation not symmetric")
 	}
-	DefaultRoute(x, link)
+	if err := DefaultRoute(x, link); err != nil {
+		t.Fatal(err)
+	}
 	if _, _, ok := x.Node.LookupRoute(netip.MustParseAddr("2001:db8::1")); !ok {
 		t.Fatal("default route missing")
+	}
+	// A link not attached to the AS is an error, not a panic.
+	z := b.AddAS("z", 3, 3, 0)
+	other, _, _ := b.Wire(x, y, WireOpts{RelAB: bgp.RelPeer})
+	if err := DefaultRoute(z, other); err == nil {
+		t.Fatal("DefaultRoute accepted a detached link")
 	}
 	b.Eng().Run(10 * time.Second)
 	if sx.State() != bgp.StateEstablished {

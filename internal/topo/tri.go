@@ -4,13 +4,11 @@ import (
 	"fmt"
 	"time"
 
-	"tango/internal/addr"
 	"tango/internal/bgp"
-	"tango/internal/simnet"
 )
 
-// TriScenario extends the deployment toward the paper's §6 "From Tango of
-// 2 to Tango of N": three sites (NY, CHI, LA) whose POPs attach to
+// TriScenario is the three-site instantiation of the mesh (the paper's
+// §6 "From Tango of 2 to Tango of N"): NY, CHI, LA, whose POPs attach to
 // *different* subsets of three transit providers:
 //
 //	ny:  NTT, Telia
@@ -24,155 +22,31 @@ import (
 // CHI<->LA) gains path diversity no single pair has, and routes around
 // NTT incidents that the direct pair must simply suffer.
 //
-// Provider delays use a radial model: provider P's backbone is a hub and
-// each attached POP sits at a per-site radius scaled by a per-provider
-// factor (NTT slowest, GTT fastest), so the P-path delay between two
-// sites is the sum of their scaled radii plus jitter.
-type TriScenario struct {
-	B *Builder
+// Provider delays use the radial model (see RadialMeshConfig): NTT is the
+// slowest backbone, GTT the fastest.
+type TriScenario = MeshScenario
 
-	// POPs, keyed by site name ("ny", "chi", "la").
-	POPs map[string]*AS
-	// Edges holds the per-pair Tango servers, keyed by "<site>:<peer>"
-	// (e.g. Edges["ny:la"] pairs with Edges["la:ny"]). One server per
-	// relationship, as in "more PoPs of the same network" (§6).
-	Edges map[string]*AS
-	// Providers by name.
-	Providers map[string]*AS
-
-	// Trunk[site][provider] is the line carrying traffic from the
-	// provider's hub toward that site; incident injection targets
-	// these. Only attached providers are present.
-	Trunk map[string]map[string]*simnet.Line
-
-	// HostPrefix / Block / Probe prefixes per edge key.
-	HostPrefix map[string]addr.Prefix
-	Block      map[string]addr.Prefix
-	Probe      map[string]addr.Prefix
-}
-
-// NewTriScenario builds the three-site deployment with pairwise Tango
-// servers for the pairs (ny,la), (ny,chi), (chi,la).
-func NewTriScenario(seed int64) *TriScenario {
-	b := NewBuilder(seed)
-	t := &TriScenario{
-		B:          b,
-		POPs:       map[string]*AS{},
-		Edges:      map[string]*AS{},
-		Providers:  map[string]*AS{},
-		Trunk:      map[string]map[string]*simnet.Line{},
-		HostPrefix: map[string]addr.Prefix{},
-		Block:      map[string]addr.Prefix{},
-		Probe:      map[string]addr.Prefix{},
-	}
-
-	type site struct {
-		name      string
-		radius    time.Duration
-		clockOff  time.Duration
-		providers []string
-	}
-	sites := []site{
-		{"ny", 14 * time.Millisecond, 1700 * time.Millisecond, []string{"NTT", "Telia"}},
-		{"chi", 6 * time.Millisecond, -400 * time.Millisecond, []string{"NTT", "Telia", "GTT"}},
-		{"la", 14100 * time.Microsecond, -900 * time.Millisecond, []string{"NTT", "GTT"}},
-	}
-	provs := []struct {
-		name  string
-		asn   bgp.ASN
-		scale float64
-		std   time.Duration
-	}{
+// TriConfig returns the tri deployment's MeshConfig: three sites,
+// heterogeneous provider attachment, all three pairs deployed.
+func TriConfig(seed int64) MeshConfig {
+	provs := []RadialProvider{
 		{"NTT", bgp.ASNTT, 1.30, 100 * time.Microsecond},
 		{"Telia", bgp.ASTelia, 1.11, 330 * time.Microsecond},
 		{"GTT", bgp.ASGTT, 1.0, 10 * time.Microsecond},
 	}
-
-	for i, p := range provs {
-		t.Providers[p.name] = b.AddAS(p.name, p.asn, uint32(21+i), 0)
+	sites := []RadialSite{
+		{"ny", 14 * time.Millisecond, 1700 * time.Millisecond, []string{"NTT", "Telia"}},
+		{"chi", 6 * time.Millisecond, -400 * time.Millisecond, []string{"NTT", "Telia", "GTT"}},
+		{"la", 14100 * time.Microsecond, -900 * time.Millisecond, []string{"NTT", "GTT"}},
 	}
-
-	// POPs are distinct regional networks (an open overlay across
-	// organizations, not one cloud), so no allowas-in is needed.
-	popASN := map[string]bgp.ASN{"ny": 30101, "chi": 30102, "la": 30103}
-	for i, s := range sites {
-		pop := b.AddAS("pop-"+s.name, popASN[s.name], uint32(11+i), 0)
-		t.POPs[s.name] = pop
-		t.Trunk[s.name] = map[string]*simnet.Line{}
-		for _, pname := range s.providers {
-			var pp *struct {
-				name  string
-				asn   bgp.ASN
-				scale float64
-				std   time.Duration
-			}
-			for j := range provs {
-				if provs[j].name == pname {
-					pp = &provs[j]
-				}
-			}
-			radial := time.Duration(float64(s.radius) * pp.scale / 2)
-			dm := simnet.GaussianDelay{
-				Floor: radial,
-				Mean:  radial + radial/100 + 50*time.Microsecond,
-				Std:   pp.std,
-			}
-			lnk, _, _ := b.Wire(pop, t.Providers[pname], WireOpts{
-				RelAB:           bgp.RelProvider,
-				DelayAB:         dm, // POP -> hub radial
-				DelayBA:         dm, // hub -> POP radial
-				MRAI:            5 * time.Second,
-				StripPrivateA2B: true,
-				ScrubA2B:        true,
-			})
-			t.Trunk[s.name][pname] = lnk.LineFrom(t.Providers[pname].Node)
-		}
-	}
-
-	// Per-pair edge servers from consecutive private ASNs.
-	blockAl := addr.NewAlloc(addr.MustParsePrefix("2001:db8:4000::/36"))
 	pairs := [][2]string{{"ny", "la"}, {"ny", "chi"}, {"chi", "la"}}
-	dc := simnet.FixedDelay(200 * time.Microsecond)
-	edgeASN := bgp.ASN(64700)
-	for _, pr := range pairs {
-		for k := 0; k < 2; k++ {
-			siteName, peer := pr[k], pr[1-k]
-			key := siteName + ":" + peer
-			edgeASN++
-			var off time.Duration
-			for _, s := range sites {
-				if s.name == siteName {
-					off = s.clockOff
-				}
-			}
-			edge := b.AddAS("edge-"+key, edgeASN, uint32(100+len(t.Edges)), off)
-			t.Edges[key] = edge
-			lnk, _, _ := b.Wire(edge, t.POPs[siteName], WireOpts{
-				RelAB:   bgp.RelProvider,
-				DelayAB: dc, DelayBA: dc,
-				SessionDelay: time.Millisecond,
-				MRAI:         time.Second,
-			})
-			DefaultRoute(edge, lnk)
-			t.Block[key] = blockAl.MustNextSubnet(44)
-			t.HostPrefix[key] = blockAl.MustNextSubnet(48)
-			t.Probe[key] = blockAl.MustNextSubnet(48)
-			edge.Speaker.Originate(t.HostPrefix[key])
-		}
-	}
-	return t
+	return RadialMeshConfig(seed, provs, sites, pairs)
 }
 
-// Run advances virtual time by d.
-func (t *TriScenario) Run(d time.Duration) { t.B.W.Run(t.B.W.Now() + d) }
-
-// Edge returns the server at site paired with peer.
-func (t *TriScenario) Edge(site, peer string) *AS {
-	e, ok := t.Edges[site+":"+peer]
-	if !ok {
-		panic(fmt.Sprintf("topo: no edge %s:%s", site, peer))
-	}
-	return e
+// NewTriScenario builds the three-site deployment with pairwise Tango
+// servers for the pairs (ny,la), (ny,chi), (chi,la).
+func NewTriScenario(seed int64) (*TriScenario, error) {
+	return NewMeshScenario(TriConfig(seed))
 }
 
 // TriProviderName labels providers for the tri scenario's POP ASNs.

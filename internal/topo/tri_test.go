@@ -8,8 +8,26 @@ import (
 	"tango/internal/control"
 )
 
+func mustTri(t *testing.T, seed int64) *TriScenario {
+	t.Helper()
+	s, err := NewTriScenario(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustEdge(t *testing.T, s *TriScenario, site, peer string) *AS {
+	t.Helper()
+	e, err := s.Edge(site, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 func TestTriScenarioStructure(t *testing.T) {
-	s := NewTriScenario(1)
+	s := mustTri(t, 1)
 	if len(s.POPs) != 3 || len(s.Providers) != 3 || len(s.Edges) != 6 {
 		t.Fatalf("structure: %d POPs, %d providers, %d edges",
 			len(s.POPs), len(s.Providers), len(s.Edges))
@@ -21,29 +39,55 @@ func TestTriScenarioStructure(t *testing.T) {
 	if s.Trunk["ny"]["GTT"] != nil || s.Trunk["la"]["Telia"] != nil {
 		t.Fatal("unexpected provider attachment")
 	}
-	if s.Edge("ny", "la") == nil {
+	if mustEdge(t, s, "ny", "la") == nil {
 		t.Fatal("edge lookup failed")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown edge did not panic")
-		}
-	}()
-	s.Edge("ny", "nowhere")
+	if _, err := s.Edge("ny", "nowhere"); err == nil {
+		t.Fatal("unknown edge did not error")
+	}
+	if !s.Adjacent("ny", "chi") || s.Adjacent("ny", "nowhere") {
+		t.Fatal("Adjacent wrong")
+	}
+}
+
+func TestMeshConfigValidation(t *testing.T) {
+	bad := TriConfig(1)
+	bad.Pairs = append(bad.Pairs, MeshPair{A: "ny", B: "atlantis"})
+	if _, err := NewMeshScenario(bad); err == nil {
+		t.Fatal("pair with unknown site accepted")
+	}
+	bad = TriConfig(1)
+	bad.Sites[0].Attach[0].Provider = "nope"
+	if _, err := NewMeshScenario(bad); err == nil {
+		t.Fatal("attachment to unknown provider accepted")
+	}
+	bad = TriConfig(1)
+	bad.Pairs = append(bad.Pairs, bad.Pairs[0])
+	if _, err := NewMeshScenario(bad); err == nil {
+		t.Fatal("duplicate pair accepted")
+	}
+	bad = TriConfig(1)
+	bad.Pairs[0].B = bad.Pairs[0].A
+	if _, err := NewMeshScenario(bad); err == nil {
+		t.Fatal("self-pair accepted")
+	}
+	bad = TriConfig(1)
+	bad.Peerings = append(bad.Peerings, MeshPeering{A: "NTT", B: "nope"})
+	if _, err := NewMeshScenario(bad); err == nil {
+		t.Fatal("peering with unknown provider accepted")
+	}
 }
 
 func triDiscover(t *testing.T, s *TriScenario, a, b string) []control.DiscoveredPath {
 	t.Helper()
-	keyA, keyB := a+":"+b, b+":"+a
 	d := &control.Discoverer{
-		Announcer: s.Edge(b, a).Speaker,
-		Observer:  s.Edge(a, b).Speaker,
-		Probe:     s.Probe[keyB],
+		Announcer: mustEdge(t, s, b, a).Speaker,
+		Observer:  mustEdge(t, s, a, b).Speaker,
+		Probe:     s.Probe[b+":"+a],
 		POPAS:     s.POPs[b].ASN,
 		NameFor:   TriProviderName,
 		RoundWait: 90 * time.Second,
 	}
-	_ = keyA
 	var got []control.DiscoveredPath
 	d.Run(func(paths []control.DiscoveredPath) { got = paths })
 	s.Run(15 * time.Minute)
@@ -51,7 +95,7 @@ func triDiscover(t *testing.T, s *TriScenario, a, b string) []control.Discovered
 }
 
 func TestTriScenarioPathDiversity(t *testing.T) {
-	s := NewTriScenario(2)
+	s := mustTri(t, 2)
 	s.Run(5 * time.Minute)
 
 	// NY<->LA share only NTT: exactly one path.
@@ -86,10 +130,10 @@ func TestTriProviderName(t *testing.T) {
 }
 
 func TestTriScenarioClockOffsets(t *testing.T) {
-	s := NewTriScenario(3)
-	offNY := s.Edge("ny", "la").Node.Clock().Offset()
-	offNY2 := s.Edge("ny", "chi").Node.Clock().Offset()
-	offLA := s.Edge("la", "ny").Node.Clock().Offset()
+	s := mustTri(t, 3)
+	offNY := mustEdge(t, s, "ny", "la").Node.Clock().Offset()
+	offNY2 := mustEdge(t, s, "ny", "chi").Node.Clock().Offset()
+	offLA := mustEdge(t, s, "la", "ny").Node.Clock().Offset()
 	if offNY != offNY2 {
 		t.Fatal("servers in the same site must share the site clock offset")
 	}

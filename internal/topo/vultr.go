@@ -39,9 +39,9 @@ var (
 // Scenario is the paper's deployment: two Vultr datacenters (NY and LA),
 // a server with a private-ASN BIRD session in each, and the five transit
 // providers observed in §4.1, with an NTT–Cogent peering supplying the
-// fourth LA→NY path.
+// fourth LA→NY path. It is the two-site special case of the mesh.
 type Scenario struct {
-	B *Builder
+	*MeshScenario
 
 	EdgeNY, EdgeLA   *AS // the Tango servers (private ASNs)
 	VultrNY, VultrLA *AS // Vultr border routers, both AS 20473
@@ -77,130 +77,119 @@ const (
 	ASEdgeLA bgp.ASN = 65002
 )
 
-// NewVultrScenario builds the deployment.
-func NewVultrScenario(cfg ScenarioConfig) *Scenario {
+// VultrConfig returns the Vultr deployment's MeshConfig.
+func VultrConfig(cfg ScenarioConfig) MeshConfig {
 	if cfg.ClockOffsetNY == 0 && cfg.ClockOffsetLA == 0 {
 		cfg.ClockOffsetNY = 1700 * time.Millisecond
 		cfg.ClockOffsetLA = -900 * time.Millisecond
 	}
-	b := NewBuilder(cfg.Seed)
-	s := &Scenario{
-		B:         b,
-		TrunkToLA: make(map[string]*simnet.Line),
-		TrunkToNY: make(map[string]*simnet.Line),
-		BlockNY:   addr.MustParsePrefix("2001:db8:100::/44"),
-		BlockLA:   addr.MustParsePrefix("2001:db8:200::/44"),
-		HostNY:    addr.MustParsePrefix("2001:db8:a00::/48"),
-		HostLA:    addr.MustParsePrefix("2001:db8:b00::/48"),
-	}
-
-	s.EdgeNY = b.AddAS("edge-ny", ASEdgeNY, 101, cfg.ClockOffsetNY)
-	s.EdgeLA = b.AddAS("edge-la", ASEdgeLA, 102, cfg.ClockOffsetLA)
-	s.VultrNY = b.AddAS("vultr-ny", bgp.ASVultr, 11, 0)
-	s.VultrLA = b.AddAS("vultr-la", bgp.ASVultr, 12, 0)
-
 	profs := cfg.Profiles
 	if profs == nil {
 		profs = []ProviderProfile{ProfileNTT, ProfileTelia, ProfileGTT, ProfileCogent, ProfileLevel3}
 	}
 	byName := map[string]ProviderProfile{}
-	for _, p := range profs {
+	var providers []MeshProvider
+	for i, p := range profs {
 		byName[p.Name] = p
-	}
-
-	s.NTT = b.AddAS("ntt", bgp.ASNTT, 21, 0)
-	s.Telia = b.AddAS("telia", bgp.ASTelia, 22, 0)
-	s.GTT = b.AddAS("gtt", bgp.ASGTT, 23, 0)
-	s.Cogent = b.AddAS("cogent", bgp.ASCogent, 24, 0)
-	s.Level3 = b.AddAS("level3", bgp.ASLevel3, 25, 0)
-
-	// Server <-> Vultr border: the paper's BIRD eBGP session over the
-	// DC fabric. Tiny data-plane delay; Vultr strips the private ASN
-	// and scrubs its action communities when re-exporting to the core
-	// (configured on the vultr<->transit wires below).
-	dcLink := simnet.FixedDelay(200 * time.Microsecond)
-	lnNY, _, _ := b.Wire(s.EdgeNY, s.VultrNY, WireOpts{
-		RelAB:   bgp.RelProvider,
-		DelayAB: dcLink, DelayBA: dcLink,
-		SessionDelay: time.Millisecond,
-		MRAI:         time.Second,
-	})
-	lnLA, _, _ := b.Wire(s.EdgeLA, s.VultrLA, WireOpts{
-		RelAB:   bgp.RelProvider,
-		DelayAB: dcLink, DelayBA: dcLink,
-		SessionDelay: time.Millisecond,
-		MRAI:         time.Second,
-	})
-	DefaultRoute(s.EdgeNY, lnNY)
-	DefaultRoute(s.EdgeLA, lnLA)
-
-	mrai := cfg.MRAI
-	if mrai == 0 {
-		mrai = 5 * time.Second
-	}
-	access := simnet.FixedDelay(50 * time.Microsecond)
-
-	// wireTransit connects a Vultr POP to a provider: the access
-	// direction (POP -> provider) is near-zero; the trunk direction
-	// (provider -> POP) carries the provider's cross-country profile.
-	wireTransit := func(pop *AS, prov *AS, prof ProviderProfile, trunkMap map[string]*simnet.Line) {
-		lnk, _, _ := b.Wire(pop, prov, WireOpts{
-			RelAB:   bgp.RelProvider, // provider provides transit to the POP
-			DelayAB: access,
-			DelayBA: prof.Trunk(),
-			MRAI:    mrai,
-			// The POP strips the tenant's private ASN and scrubs
-			// action communities when announcing to the core.
-			StripPrivateA2B: true,
-			ScrubA2B:        true,
-			// Both POPs share AS 20473: accept paths containing it.
-			AllowOwnASA: true,
+		providers = append(providers, MeshProvider{
+			Name:     p.Name,
+			NodeName: strLower(p.Name),
+			ASN:      p.ASN,
+			RouterID: uint32(21 + i),
 		})
-		trunkMap[prof.Name] = lnk.LineFrom(prov.Node)
 	}
-
-	// NY-side transits: NTT, Telia, GTT, Cogent.
-	wireTransit(s.VultrNY, s.NTT, byName["NTT"], s.TrunkToNY)
-	wireTransit(s.VultrNY, s.Telia, byName["Telia"], s.TrunkToNY)
-	wireTransit(s.VultrNY, s.GTT, byName["GTT"], s.TrunkToNY)
-	wireTransit(s.VultrNY, s.Cogent, byName["Cogent"], s.TrunkToNY)
-	// LA-side transits: NTT, Telia, GTT, Level3.
-	wireTransit(s.VultrLA, s.NTT, byName["NTT"], s.TrunkToLA)
-	wireTransit(s.VultrLA, s.Telia, byName["Telia"], s.TrunkToLA)
-	wireTransit(s.VultrLA, s.GTT, byName["GTT"], s.TrunkToLA)
-	wireTransit(s.VultrLA, s.Level3, byName["Level3"], s.TrunkToLA)
-
-	// NTT <-> Cogent settlement-free peering: supplies the LA->NY
-	// "NTT and Cogent" path the paper observed once NY's announcements
-	// to NTT, Telia, and GTT are suppressed. The peering hop adds a
-	// few ms on top of Cogent's trunk.
-	b.Wire(s.NTT, s.Cogent, WireOpts{
-		RelAB:   bgp.RelPeer,
-		DelayAB: simnet.FixedDelay(4 * time.Millisecond),
-		DelayBA: simnet.FixedDelay(4 * time.Millisecond),
-		MRAI:    mrai,
-	})
-	// NTT <-> Level3 peering: the mirror-image hop for the NY->LA
-	// direction, whose fourth path enters LA through Level3.
-	b.Wire(s.NTT, s.Level3, WireOpts{
-		RelAB:   bgp.RelPeer,
-		DelayAB: simnet.FixedDelay(4 * time.Millisecond),
-		DelayBA: simnet.FixedDelay(4 * time.Millisecond),
-		MRAI:    mrai,
-	})
-
-	// Host-addressing prefixes ride plain BGP (no communities): they
-	// give the sites baseline Internet connectivity over the default
-	// path — the "without Tango" baseline in the experiments.
-	s.EdgeNY.Speaker.Originate(s.HostNY)
-	s.EdgeLA.Speaker.Originate(s.HostLA)
-
-	return s
+	// The access direction (POP -> provider) is near-zero; the trunk
+	// direction (provider -> POP) carries the cross-country profile.
+	access := simnet.FixedDelay(50 * time.Microsecond)
+	attach := func(names ...string) []MeshAttachment {
+		var out []MeshAttachment
+		for _, n := range names {
+			out = append(out, MeshAttachment{Provider: n, Access: access, Trunk: byName[n].Trunk()})
+		}
+		return out
+	}
+	return MeshConfig{
+		Seed: cfg.Seed,
+		MRAI: cfg.MRAI,
+		Sites: []MeshSite{
+			{
+				Name: "ny", ClockOffset: cfg.ClockOffsetNY,
+				POPName: "vultr-ny", POPASN: bgp.ASVultr, POPRouterID: 11,
+				// Both POPs share AS 20473: accept paths containing it.
+				AllowOwnAS: true,
+				Attach:     attach("NTT", "Telia", "GTT", "Cogent"),
+			},
+			{
+				Name: "la", ClockOffset: cfg.ClockOffsetLA,
+				POPName: "vultr-la", POPASN: bgp.ASVultr, POPRouterID: 12,
+				AllowOwnAS: true,
+				Attach:     attach("NTT", "Telia", "GTT", "Level3"),
+			},
+		},
+		Providers: providers,
+		Pairs: []MeshPair{{
+			A: "ny", B: "la",
+			SideA: MeshPairSide{
+				EdgeName: "edge-ny", EdgeASN: ASEdgeNY, RouterID: 101,
+				Block: addr.MustParsePrefix("2001:db8:100::/44"),
+				Host:  addr.MustParsePrefix("2001:db8:a00::/48"),
+				Probe: addr.MustParsePrefix("2001:db8:1f0::/48"),
+			},
+			SideB: MeshPairSide{
+				EdgeName: "edge-la", EdgeASN: ASEdgeLA, RouterID: 102,
+				Block: addr.MustParsePrefix("2001:db8:200::/44"),
+				Host:  addr.MustParsePrefix("2001:db8:b00::/48"),
+				Probe: addr.MustParsePrefix("2001:db8:2f0::/48"),
+			},
+		}},
+		Peerings: []MeshPeering{
+			// NTT <-> Cogent settlement-free peering: supplies the LA->NY
+			// "NTT and Cogent" path the paper observed once NY's
+			// announcements to NTT, Telia, and GTT are suppressed.
+			{A: "NTT", B: "Cogent"},
+			// NTT <-> Level3: the mirror-image hop for NY->LA, whose
+			// fourth path enters LA through Level3.
+			{A: "NTT", B: "Level3"},
+		},
+	}
 }
 
-// Run advances the scenario's virtual time by d.
-func (s *Scenario) Run(d time.Duration) {
-	s.B.W.Run(s.B.W.Now() + d)
+// NewVultrScenario builds the deployment.
+func NewVultrScenario(cfg ScenarioConfig) (*Scenario, error) {
+	m, err := NewMeshScenario(VultrConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	s := &Scenario{
+		MeshScenario: m,
+		EdgeNY:       m.Edges["ny:la"],
+		EdgeLA:       m.Edges["la:ny"],
+		VultrNY:      m.POPs["ny"],
+		VultrLA:      m.POPs["la"],
+		NTT:          m.Providers["NTT"],
+		Telia:        m.Providers["Telia"],
+		GTT:          m.Providers["GTT"],
+		Cogent:       m.Providers["Cogent"],
+		Level3:       m.Providers["Level3"],
+		TrunkToNY:    m.Trunk["ny"],
+		TrunkToLA:    m.Trunk["la"],
+		BlockNY:      m.Block["ny:la"],
+		BlockLA:      m.Block["la:ny"],
+		HostNY:       m.HostPrefix["ny:la"],
+		HostLA:       m.HostPrefix["la:ny"],
+	}
+	return s, nil
+}
+
+// strLower lowercases ASCII letters (provider node names).
+func strLower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 // ProviderNameForPath names the wide-area path a route takes, using the

@@ -1,0 +1,273 @@
+package tango
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/bgp"
+	"tango/internal/control"
+	"tango/internal/core"
+	"tango/internal/events"
+	"tango/internal/topo"
+)
+
+// MeshProvider describes one transit provider of a custom mesh topology.
+// Backbone delay follows the radial model: the provider's path between
+// two sites costs the sum of the sites' radii scaled by the provider's
+// factor, plus per-packet Gaussian noise.
+type MeshProvider struct {
+	Name string
+	ASN  uint32
+	// Scale multiplies each site's radius on this provider's backbone
+	// (1.0 = the topology's fastest tier; slower carriers use >1).
+	Scale float64
+	// JitterStd is the per-packet delay noise.
+	JitterStd time.Duration
+}
+
+// MeshSiteSpec places one site in a custom mesh topology.
+type MeshSiteSpec struct {
+	Name string
+	// Radius is the site's distance from the (notional) network center;
+	// it sets the scale of every provider path touching the site.
+	Radius time.Duration
+	// ClockOffset skews the site's server clocks (unsynchronised sites
+	// are the realistic default; zero means perfectly synced).
+	ClockOffset time.Duration
+	// Providers lists the transit providers the site's POP attaches to.
+	Providers []string
+}
+
+// MeshOptions configures NewMesh. Leaving Providers/Sites/Pairs empty
+// deploys the default three-site topology (NY, CHI, LA over NTT, Telia,
+// GTT) in which NY and LA share only one provider — the situation where
+// relaying through CHI pays off.
+type MeshOptions struct {
+	// Seed drives every random process; equal seeds reproduce bit-for-bit.
+	Seed int64
+	// ProbeInterval is the per-path measurement cadence (default 10 ms).
+	ProbeInterval time.Duration
+	// DecideEvery is the per-pair controller cadence (default 1 s).
+	DecideEvery time.Duration
+	// SitePolicy selects every member controller's strategy.
+	SitePolicy Policy
+	// RecordBucket, when positive, records per-path OWD series.
+	RecordBucket time.Duration
+	// AuthKey enables authenticated telemetry on every border switch.
+	AuthKey []byte
+	// MaxRelays bounds intermediate sites per overlay route (0 = the
+	// default of one relay; -1 restricts to direct routes).
+	MaxRelays int
+
+	// Providers/Sites/Pairs define a custom topology. Pairs lists the
+	// site pairs that deploy Tango; sites without a pair between them can
+	// still be connected through relays.
+	Providers []MeshProvider
+	Sites     []MeshSiteSpec
+	Pairs     [][2]string
+}
+
+// Mesh is an N-site Tango deployment: pairwise Tango between the
+// configured site pairs, composed into an overlay that can relay traffic
+// through intermediate sites when every direct wide-area path degrades.
+type Mesh struct {
+	scenario *topo.MeshScenario
+	mesh     *core.Mesh
+	opts     MeshOptions
+	nameFor  func(bgp.ASN) string
+	buildErr error
+}
+
+// NewMesh builds the simulated N-site deployment (BGP converged, host
+// prefixes announced) without running Tango establishment yet.
+func NewMesh(opts MeshOptions) *Mesh {
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 10 * time.Millisecond
+	}
+	if opts.DecideEvery == 0 {
+		opts.DecideEvery = time.Second
+	}
+	var cfg topo.MeshConfig
+	var nameFor func(bgp.ASN) string
+	if len(opts.Sites) == 0 {
+		cfg = topo.TriConfig(opts.Seed)
+		nameFor = topo.TriProviderName
+	} else {
+		provs := make([]topo.RadialProvider, 0, len(opts.Providers))
+		names := make(map[bgp.ASN]string, len(opts.Providers))
+		for _, p := range opts.Providers {
+			provs = append(provs, topo.RadialProvider{
+				Name:  p.Name,
+				ASN:   bgp.ASN(p.ASN),
+				Scale: p.Scale,
+				Std:   p.JitterStd,
+			})
+			names[bgp.ASN(p.ASN)] = p.Name
+		}
+		nameFor = func(a bgp.ASN) string {
+			if n, ok := names[a]; ok {
+				return n
+			}
+			return fmt.Sprintf("AS%d", a)
+		}
+		sites := make([]topo.RadialSite, 0, len(opts.Sites))
+		for _, s := range opts.Sites {
+			sites = append(sites, topo.RadialSite{
+				Name:        s.Name,
+				Radius:      s.Radius,
+				ClockOffset: s.ClockOffset,
+				Providers:   s.Providers,
+			})
+		}
+		cfg = topo.RadialMeshConfig(opts.Seed, provs, sites, opts.Pairs)
+	}
+	s, err := topo.NewMeshScenario(cfg)
+	if err != nil {
+		return &Mesh{opts: opts, buildErr: err}
+	}
+	s.Run(5 * time.Minute)
+	return &Mesh{scenario: s, opts: opts, nameFor: nameFor}
+}
+
+// Establish runs the paper's setup for every deployed pair concurrently
+// in virtual time — discovery, pinned prefixes, tunnels, probing — then
+// wires the overlay relay tables. It returns an error if the topology
+// was invalid or establishment does not complete.
+func (m *Mesh) Establish() error {
+	if m.buildErr != nil {
+		return m.buildErr
+	}
+	if m.mesh != nil {
+		return nil // already established; re-wiring would duplicate the deployment
+	}
+	pol := m.opts.SitePolicy
+	cm, err := core.MeshFromScenario(m.scenario, core.MeshConfig{
+		ProbeInterval: m.opts.ProbeInterval,
+		DecideEvery:   m.opts.DecideEvery,
+		NewPolicy:     func(site, peer string) control.Policy { return mkPolicy(pol) },
+		NameFor:       m.nameFor,
+		RecordBucket:  m.opts.RecordBucket,
+		AuthKey:       m.opts.AuthKey,
+		MaxRelays:     m.opts.MaxRelays,
+	})
+	if err != nil {
+		return err
+	}
+	cm.Establish()
+	if !cm.RunUntilReady(4 * time.Hour) {
+		return fmt.Errorf("tango: mesh establishment did not complete")
+	}
+	m.mesh = cm
+	return nil
+}
+
+// Run advances the deployment by d of virtual time.
+func (m *Mesh) Run(d time.Duration) { m.scenario.Run(d) }
+
+// Now returns the current virtual time.
+func (m *Mesh) Now() time.Duration { return m.scenario.B.W.Now() }
+
+// Sites returns the deployment's site names, sorted.
+func (m *Mesh) Sites() []string { return m.mesh.Sites() }
+
+// Route is one end-to-end overlay route: direct (empty Via) or relayed
+// through the named sites in order. OWDMs/JitterMs sum the live smoothed
+// per-segment estimates; the per-segment clock offsets telescope, so
+// routes of the same site pair compare exactly even though absolute
+// values carry a constant offset.
+type Route struct {
+	Src, Dst string
+	Via      []string
+	// OWDMs and JitterMs are the summed segment estimates (receiver
+	// clock domains; compare within a site pair, not across pairs).
+	OWDMs, JitterMs float64
+	// Valid reports whether every segment currently has a live estimate.
+	Valid bool
+}
+
+// Relayed reports whether the route hands traffic through relay sites.
+func (r Route) Relayed() bool { return len(r.Via) > 0 }
+
+// String renders the route's site sequence.
+func (r Route) String() string {
+	s := r.Src
+	for _, v := range r.Via {
+		s += "->" + v
+	}
+	return s + "->" + r.Dst
+}
+
+func publicRoute(r control.CompositeRoute) Route {
+	return Route{Src: r.Src, Dst: r.Dst, Via: r.Via, OWDMs: r.OWDMs, JitterMs: r.JitterMs, Valid: r.Valid}
+}
+
+// Routes returns every route from src to dst scored from the live
+// segment estimates, best-first. Establish must have succeeded.
+func (m *Mesh) Routes(src, dst string) []Route {
+	rs := m.mesh.Routes(src, dst)
+	out := make([]Route, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, publicRoute(r))
+	}
+	return out
+}
+
+// BestRoute returns the currently best valid route from src to dst.
+func (m *Mesh) BestRoute(src, dst string) (Route, bool) {
+	r, ok := m.mesh.Best(src, dst)
+	return publicRoute(r), ok
+}
+
+// Send transmits an application payload along a specific route as a UDP
+// packet between the route's endpoint host addresses. Direct routes are
+// tunnelled by the origin pair; relayed routes are re-encapsulated at
+// each intermediate site.
+func (m *Mesh) Send(r Route, srcPort, dstPort uint16, payload []byte) error {
+	return m.mesh.SendAlong(control.CompositeRoute{Src: r.Src, Dst: r.Dst, Via: r.Via},
+		srcPort, dstPort, payload)
+}
+
+// OnReceive registers a handler for application packets addressed to the
+// given inner UDP port arriving at a site, whichever route carried them.
+func (m *Mesh) OnReceive(site string, dstPort uint16, fn func(Delivery)) {
+	m.mesh.AddSink(site, deliverySink(m.Now, dstPort, fn))
+}
+
+// Paths returns the live per-path view of one deployed segment: the
+// paths carrying traffic from site toward peer. Establish must have
+// succeeded and the pair must exist.
+func (m *Mesh) Paths(site, peer string) ([]PathInfo, error) {
+	sender := m.mesh.Member(site, peer)
+	recv := m.mesh.Member(peer, site)
+	if sender == nil || recv == nil {
+		return nil, fmt.Errorf("tango: no deployed pair %s:%s", site, peer)
+	}
+	return pathInfos(sender, recv.Monitor), nil
+}
+
+// RelayStats reports a site's relay activity: packets re-encapsulated
+// onto a next segment and packets dropped by the TTL loop guard.
+func (m *Mesh) RelayStats(site string) (forwarded, ttlExpired uint64) {
+	r := m.mesh.Relay(site)
+	if r == nil {
+		return 0, 0
+	}
+	return r.Stats.Forwarded, r.Stats.TTLExpired
+}
+
+// InjectRouteShift schedules an intra-provider routing change on the
+// provider's trunk toward the named site: after `in` of virtual time the
+// affected paths settle delta higher for dur, then revert.
+func (m *Mesh) InjectRouteShift(site, provider string, in, dur, delta time.Duration) error {
+	line := m.scenario.Trunk[site][provider]
+	if line == nil {
+		return fmt.Errorf("tango: no %s trunk toward %s", provider, site)
+	}
+	(&events.RouteShift{
+		Line:     line,
+		At:       m.Now() + in,
+		Duration: dur,
+		Delta:    delta,
+	}).Schedule(m.scenario.B.Eng())
+	return nil
+}

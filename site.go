@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"time"
 
+	"tango/internal/control"
 	"tango/internal/core"
 	"tango/internal/packet"
 )
@@ -57,10 +58,16 @@ type PathInfo struct {
 // Paths returns the site's outgoing paths in discovery order with live
 // stats. Paths without measurements yet have zero Samples.
 func (s *Site) Paths() []PathInfo {
-	peerMon := s.peer().site.Monitor
-	cur := s.site.Controller.Current()
-	out := make([]PathInfo, 0, len(s.site.OutPaths))
-	for i, dp := range s.site.OutPaths {
+	return pathInfos(s.site, s.peer().site.Monitor)
+}
+
+// pathInfos assembles the public view of one direction's paths: the
+// sender's discovered paths annotated with the receiving monitor's
+// measurements.
+func pathInfos(sender *core.Site, peerMon *control.Monitor) []PathInfo {
+	cur := sender.Controller.Current()
+	out := make([]PathInfo, 0, len(sender.OutPaths))
+	for i, dp := range sender.OutPaths {
 		id := uint8(i + 1)
 		info := PathInfo{
 			ID:       id,
@@ -137,8 +144,13 @@ type Delivery struct {
 // OnReceive registers a handler for application packets addressed to the
 // given inner UDP destination port.
 func (s *Site) OnReceive(dstPort uint16, fn func(Delivery)) {
-	lab := s.lab
-	s.site.AddSink(func(inner []byte) bool {
+	s.site.AddSink(deliverySink(s.lab.Now, dstPort, fn))
+}
+
+// deliverySink builds a sink claiming inner UDP packets on dstPort and
+// handing them to fn as parsed Deliveries.
+func deliverySink(now func() time.Duration, dstPort uint16, fn func(Delivery)) func([]byte) bool {
+	return func(inner []byte) bool {
 		if len(inner) < 48 || inner[0]>>4 != 6 {
 			return false
 		}
@@ -155,7 +167,7 @@ func (s *Site) OnReceive(dstPort uint16, fn func(Delivery)) {
 			return false
 		}
 		fn(Delivery{
-			At:      lab.Now(),
+			At:      now(),
 			Src:     ip.Src,
 			Dst:     ip.Dst,
 			SrcPort: udp.SrcPort,
@@ -163,7 +175,7 @@ func (s *Site) OnReceive(dstPort uint16, fn func(Delivery)) {
 			Payload: udp.LayerPayload(),
 		})
 		return true
-	})
+	}
 }
 
 // Stats is a snapshot of the site's border-switch counters.

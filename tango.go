@@ -10,7 +10,7 @@
 // a faithful substrate: a deterministic packet-level network simulator, a
 // from-scratch BGP-4 control plane with operator action communities, and
 // an eBPF-equivalent data plane operating on real packet bytes. The
-// top-level entry point is the Lab: the paper's two-datacenter Vultr
+// two-site entry point is the Lab: the paper's two-datacenter Vultr
 // deployment, ready for discovery, measurement, traffic, and incident
 // injection.
 //
@@ -20,6 +20,17 @@
 //	for _, p := range lab.NY().Paths() {
 //		fmt.Printf("%s: %.2f ms\n", p.Provider, p.MeanOWDMs)
 //	}
+//
+// NewMesh scales the same machinery to N sites (the paper's §6, "from
+// Tango of 2 to Tango of N"): Tango deploys pairwise between adjacent
+// sites and an overlay relay layer composes the pairs into end-to-end
+// routes, so traffic can detour through an intermediate site when every
+// direct wide-area path degrades.
+//
+//	mesh := tango.NewMesh(tango.MeshOptions{Seed: 1})
+//	if err := mesh.Establish(); err != nil { ... }
+//	mesh.Run(2 * time.Minute)
+//	best, _ := mesh.BestRoute("ny", "la") // direct, or relayed via chi
 package tango
 
 import (
@@ -74,12 +85,14 @@ type Options struct {
 }
 
 // Lab is the paper's deployment: two cooperating edge servers in Vultr's
-// NY and LA datacenters connected across five transit providers.
+// NY and LA datacenters connected across five transit providers. It is
+// the two-site special case of the machinery behind NewMesh.
 type Lab struct {
 	scenario *topo.Scenario
 	pair     *core.Pair
 	opts     Options
 	ny, la   *Site
+	buildErr error
 }
 
 // NewLab builds the simulated deployment (BGP sessions established, host
@@ -91,11 +104,16 @@ func NewLab(opts Options) *Lab {
 	if opts.DecideEvery == 0 {
 		opts.DecideEvery = time.Second
 	}
-	s := topo.NewVultrScenario(topo.ScenarioConfig{
+	s, err := topo.NewVultrScenario(topo.ScenarioConfig{
 		Seed:          opts.Seed,
 		ClockOffsetNY: opts.ClockOffsetNY,
 		ClockOffsetLA: opts.ClockOffsetLA,
 	})
+	if err != nil {
+		// The Vultr config is fixed, so this cannot happen today; carry
+		// it to Establish rather than panic.
+		return &Lab{opts: opts, buildErr: err}
+	}
 	s.Run(5 * time.Minute)
 	l := &Lab{scenario: s, opts: opts}
 	return l
@@ -117,6 +135,9 @@ func mkPolicy(p Policy) control.Policy {
 // exposed path, tunnels provisioned, probing and the measurement feedback
 // loop started. It returns an error if BGP fails to expose any path.
 func (l *Lab) Establish() error {
+	if l.buildErr != nil {
+		return l.buildErr
+	}
 	p := core.VultrPair(l.scenario, core.PairConfig{
 		ProbeInterval: l.opts.ProbeInterval,
 		DecideEvery:   l.opts.DecideEvery,
