@@ -20,8 +20,22 @@ import (
 	"tango/internal/dataplane"
 	"tango/internal/experiments"
 	"tango/internal/packet"
+	"tango/internal/perf"
 	"tango/internal/simnet"
 )
+
+// BenchmarkEncap, BenchmarkDecap, and BenchmarkLinkTraverse are the
+// perf-regression micro-benches: shared bodies live in internal/perf so
+// the zero-allocs/op assertions (internal/perf tests) and the BENCH.json
+// emitter (cmd/tango-bench) measure exactly what these report.
+
+func BenchmarkEncap(b *testing.B) { perf.BenchEncap(b) }
+
+// BenchmarkDecap measures the receiver program via the shared perf body.
+func BenchmarkDecap(b *testing.B) { perf.BenchDecap(b) }
+
+// BenchmarkLinkTraverse measures inject→link→deliver through the engine.
+func BenchmarkLinkTraverse(b *testing.B) { perf.BenchLinkTraverse(b) }
 
 func benchCfg(seed int64, d time.Duration) experiments.Config {
 	return experiments.Config{Seed: seed, Duration: d}

@@ -1,0 +1,139 @@
+// Command tango-bench is the perf-regression harness's CLI face: it runs
+// the dataplane micro-benchmarks (encap, decap, link traversal) through
+// testing.Benchmark, optionally times the full E2/E10 experiment
+// reproductions, and emits the results as machine-readable JSON for CI
+// to archive and diff across commits.
+//
+// Usage:
+//
+//	tango-bench [-out BENCH.json] [-full] [-check]
+//
+// -check exits non-zero if any micro-benchmark allocates in steady
+// state, making the zero-allocation invariant enforceable outside `go
+// test` (CI runs `tango-bench -check` as its bench smoke job).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"tango/internal/experiments"
+	"tango/internal/perf"
+)
+
+// MicroResult is one micro-benchmark measurement.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+}
+
+// ExperimentResult is the wall-clock cost of one full experiment
+// reproduction (virtual-time duration fixed, so runs are comparable).
+type ExperimentResult struct {
+	Name        string  `json:"name"`
+	WallClockMs float64 `json:"wall_clock_ms"`
+	ChecksPass  bool    `json:"checks_pass"`
+}
+
+// Report is the BENCH.json schema.
+type Report struct {
+	GoVersion   string             `json:"go_version,omitempty"`
+	Micro       []MicroResult      `json:"micro"`
+	Experiments []ExperimentResult `json:"experiments,omitempty"`
+}
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		out   = flag.String("out", "BENCH.json", "file to write results to ('-' for stdout)")
+		full  = flag.Bool("full", false, "also time the full E2/E10 experiment reproductions")
+		check = flag.Bool("check", false, "exit non-zero if any micro-benchmark allocates per op")
+	)
+	flag.Parse()
+
+	micro := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"Encap", perf.BenchEncap},
+		{"Decap", perf.BenchDecap},
+		{"LinkTraverse", perf.BenchLinkTraverse},
+	}
+
+	rep := Report{}
+	regressed := false
+	for _, m := range micro {
+		res := testing.Benchmark(m.fn)
+		mr := MicroResult{
+			Name:        m.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if res.Bytes > 0 && res.T > 0 {
+			mr.MBPerSec = float64(res.Bytes*int64(res.N)) / 1e6 / res.T.Seconds()
+		}
+		rep.Micro = append(rep.Micro, mr)
+		fmt.Printf("%-14s %12.1f ns/op %8d allocs/op %8d B/op\n",
+			m.name, mr.NsPerOp, mr.AllocsPerOp, mr.BytesPerOp)
+		if mr.AllocsPerOp != 0 {
+			regressed = true
+		}
+	}
+
+	if *full {
+		drivers := []struct {
+			name string
+			fn   func(experiments.Config) *experiments.Result
+			dur  time.Duration
+		}{
+			{"E2OWDComparison", experiments.E2OWDComparison, 10 * time.Minute},
+			{"E10MeshOverlay", experiments.E10MeshOverlay, 90 * time.Second},
+		}
+		for _, d := range drivers {
+			start := time.Now()
+			res := d.fn(experiments.Config{Seed: 1, Duration: d.dur})
+			elapsed := time.Since(start)
+			rep.Experiments = append(rep.Experiments, ExperimentResult{
+				Name:        d.name,
+				WallClockMs: float64(elapsed.Nanoseconds()) / 1e6,
+				ChecksPass:  res.Passed(),
+			})
+			fmt.Printf("%-14s %12.0f ms wall-clock  checks pass: %v\n",
+				d.name, float64(elapsed.Milliseconds()), res.Passed())
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+		return 1
+	} else {
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *check && regressed {
+		fmt.Fprintln(os.Stderr, "FAIL: a micro-benchmark allocates per op; the zero-allocation fast path has regressed")
+		return 1
+	}
+	return 0
+}

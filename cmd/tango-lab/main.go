@@ -5,9 +5,12 @@
 // Usage:
 //
 //	tango-lab [-run e1,e2,...|all] [-seed N] [-duration 2h] [-csv DIR]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints a table, the paper-vs-measured checks, and
-// optionally writes figure series as CSV files into -csv DIR.
+// optionally writes figure series as CSV files into -csv DIR. The
+// profile flags capture pprof data over the whole run, for digging into
+// fast-path regressions the bench harness flags.
 package main
 
 import (
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,13 +27,49 @@ import (
 )
 
 func main() {
+	// realMain returns instead of calling os.Exit so the profile-writing
+	// defers always run, even when checks fail.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiment ids (e1..e10) or 'all'")
-		seed     = flag.Int64("seed", 1, "random seed (equal seeds reproduce exactly)")
-		duration = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
-		csvDir   = flag.String("csv", "", "directory to write figure series CSVs into")
+		run        = flag.String("run", "all", "comma-separated experiment ids (e1..e10) or 'all'")
+		seed       = flag.Int64("seed", 1, "random seed (equal seeds reproduce exactly)")
+		duration   = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
+		csvDir     = flag.String("csv", "", "directory to write figure series CSVs into")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating cpu profile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting cpu profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // measure live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing mem profile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := experiments.Config{Seed: *seed, Duration: *duration}
 	drivers := map[string]func(experiments.Config) *experiments.Result{
@@ -53,7 +94,7 @@ func main() {
 			id = strings.TrimSpace(strings.ToLower(id))
 			if _, ok := drivers[id]; !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (have %v)\n", id, order)
-				os.Exit(2)
+				return 2
 			}
 			ids = append(ids, id)
 		}
@@ -72,16 +113,17 @@ func main() {
 		if *csvDir != "" {
 			if err := writeSeries(*csvDir, res); err != nil {
 				fmt.Fprintf(os.Stderr, "writing CSVs: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
 	fmt.Printf("completed %d experiment(s) in %v wall-clock\n", len(ids), time.Since(start).Round(time.Millisecond))
 	if !allPass {
 		fmt.Println("RESULT: some checks FAILED")
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println("RESULT: all checks passed")
+	return 0
 }
 
 func writeSeries(dir string, res *experiments.Result) error {

@@ -75,6 +75,7 @@ type Mesh struct {
 	pairs   []*Pair
 	members map[string]map[string]*Site // members[site][peer]
 	relays  map[string]*dataplane.Relay // one per site, attached to all members
+	sendBuf *packet.SerializeBuffer     // reused by SendAlong; Site.Send borrows
 	ready   bool
 	// OnReady fires once every pair is provisioned and relays are wired.
 	OnReady func()
@@ -93,6 +94,7 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		cfg:     cfg,
 		members: map[string]map[string]*Site{},
 		relays:  map[string]*dataplane.Relay{},
+		sendBuf: packet.NewSerializeBuffer(),
 	}
 	m.Table.MaxRelays = cfg.MaxRelays
 	m.Table.Source = m.segmentEstimate
@@ -307,7 +309,7 @@ func (m *Mesh) SendAlong(r control.CompositeRoute, sport, dport uint16, payload 
 	if err != nil {
 		return err
 	}
-	inner, err := buildInner(src, dst, sport, dport, payload)
+	inner, err := buildInner(m.sendBuf, src, dst, sport, dport, payload)
 	if err != nil {
 		return err
 	}
@@ -358,15 +360,16 @@ func MeshFromScenario(s *topo.MeshScenario, cfg MeshConfig) (*Mesh, error) {
 func (s *Site) HostAddr() (netip.Addr, error) { return s.Spec.HostPrefix.Host(1) }
 
 // buildInner serializes a minimal inner IPv6/UDP packet.
-func buildInner(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
-	buf := packet.NewSerializeBuffer()
+// buildInner serializes an inner UDP packet into buf and returns a view
+// of it, valid until buf is next reused. Site.Send only borrows the
+// slice (the data plane re-serializes into a pooled buffer), so callers
+// may hand the view straight to it without copying.
+func buildInner(buf *packet.SerializeBuffer, src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
 	pay := packet.Payload(payload)
 	udp := &packet.UDP{SrcPort: sport, DstPort: dport}
 	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
 	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
 		return nil, err
 	}
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	return out, nil
+	return buf.Bytes(), nil
 }

@@ -32,7 +32,7 @@ func TestIPv4InnerTunnelled(t *testing.T) {
 	tp := newTestPair(t, 0, 0)
 	tp.swA.AddPeerPrefix(addr.MustParsePrefix("10.2.0.0/16"))
 	var got []byte
-	tp.swB.DeliverLocal = func(inner []byte) { got = inner }
+	tp.swB.DeliverLocal = func(inner []byte) { got = append([]byte(nil), inner...) }
 	measured := 0
 	tp.swB.OnMeasure = func(Measurement) { measured++ }
 
@@ -71,7 +71,7 @@ func TestHandleNonTangoLocalTraffic(t *testing.T) {
 	tp := newTestPair(t, 0, 0)
 	// Address plain (non-Tango) traffic to A's tunnel endpoint.
 	var got []byte
-	tp.swA.DeliverLocal = func(inner []byte) { got = inner }
+	tp.swA.DeliverLocal = func(inner []byte) { got = append([]byte(nil), inner...) }
 	buf := packet.NewSerializeBuffer()
 	pay := packet.Payload([]byte("plain"))
 	udp := &packet.UDP{SrcPort: 5, DstPort: 6} // not the Tango port

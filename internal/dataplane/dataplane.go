@@ -109,8 +109,10 @@ type Switch struct {
 	OnMeasure func(Measurement)
 	// OnReport receives piggybacked reverse-path reports.
 	OnReport func(packet.OWDReport)
-	// DeliverLocal consumes decapsulated inner packets (defaults to
-	// re-injecting them into the node for normal forwarding).
+	// DeliverLocal consumes decapsulated inner packets. The slice is a
+	// borrowed view of the arriving packet's pooled buffer, valid only
+	// until the callback returns; consumers that keep bytes must copy
+	// them (see DESIGN.md, "Fast path & buffer ownership").
 	DeliverLocal func(inner []byte)
 
 	// authKey, when set, makes the sender sign every Tango datagram and
@@ -122,12 +124,16 @@ type Switch struct {
 	// pendingReports ride out one per encapsulated packet (FIFO). A
 	// bounded queue rather than a single slot: with sparse outbound
 	// traffic a slot aliases against the reporter's round-robin and can
-	// starve some paths of feedback entirely.
-	pendingReports []packet.OWDReport
+	// starve some paths of feedback entirely. Stored as a ring so the
+	// drop-oldest overflow policy reuses the same storage forever
+	// instead of migrating a slice down its backing array.
+	pendingReports  [maxPendingReports]packet.OWDReport
+	prHead, prCount int
 
-	// Reusable serialization state (the hot path does not allocate
-	// per-packet beyond the outgoing byte slice handed to the network).
-	buf *packet.SerializeBuffer
+	// pool leases the buffers outgoing packets are serialized into; the
+	// encapsulated packet is handed to the network with ownership, so
+	// the sender program never allocates in steady state.
+	pool *packet.BufPool
 
 	// Preallocated decode layers.
 	decIP  packet.IPv6
@@ -157,7 +163,7 @@ func NewSwitch(node *simnet.Node) *Switch {
 		node:      node,
 		clock:     node.Clock(),
 		tunnelIDs: make(map[uint8]*Tunnel),
-		buf:       packet.NewSerializeBuffer(),
+		pool:      node.Network().BufPool(),
 	}
 	s.DeliverLocal = func(inner []byte) {} // dropped unless the site wires a host side
 	node.SetHandler(s.handle)
@@ -178,7 +184,11 @@ func (s *Switch) AddTunnel(t *Tunnel) {
 	s.node.AddAddr(t.LocalAddr)
 }
 
-// RemoveTunnel withdraws a path (e.g. discovery found it dead).
+// RemoveTunnel withdraws a path (e.g. discovery found it dead) and
+// releases the node-address claim AddTunnel made, so packets to the dead
+// tunnel's local endpoint stop reaching the receiver program. Claims are
+// refcounted on the node: an address shared with a still-registered
+// tunnel stays owned.
 func (s *Switch) RemoveTunnel(pathID uint8) {
 	t, ok := s.tunnelIDs[pathID]
 	if !ok {
@@ -191,6 +201,7 @@ func (s *Switch) RemoveTunnel(pathID uint8) {
 			break
 		}
 	}
+	s.node.RemoveAddr(t.LocalAddr)
 }
 
 // Tunnels returns the registered tunnels in registration order.
@@ -227,19 +238,37 @@ func (s *Switch) SetAuthKey(key []byte) {
 	}
 }
 
+// maxPendingReports bounds the piggyback queue; overflow drops the
+// oldest report (newer observations supersede stale ones).
+const maxPendingReports = 16
+
 // QueueReport schedules a reverse-path measurement report to piggyback on
 // upcoming outbound encapsulated packets (one per packet, FIFO, bounded).
 func (s *Switch) QueueReport(r packet.OWDReport) {
-	const maxPending = 16
-	if len(s.pendingReports) >= maxPending {
-		s.pendingReports = s.pendingReports[1:]
+	if s.prCount == maxPendingReports {
+		s.prHead = (s.prHead + 1) % maxPendingReports // drop oldest in place
+		s.prCount--
 	}
-	s.pendingReports = append(s.pendingReports, r)
+	s.pendingReports[(s.prHead+s.prCount)%maxPendingReports] = r
+	s.prCount++
 }
+
+// popReport dequeues the oldest pending report.
+func (s *Switch) popReport() packet.OWDReport {
+	r := s.pendingReports[s.prHead]
+	s.prHead = (s.prHead + 1) % maxPendingReports
+	s.prCount--
+	return r
+}
+
+// PendingReports returns the number of queued piggyback reports.
+func (s *Switch) PendingReports() int { return s.prCount }
 
 // SendToPeer runs the sender program on an inner packet: pick a tunnel,
 // encapsulate, timestamp, inject. Exposed for hosts colocated with the
-// switch; transit host traffic goes through the node handler.
+// switch; transit host traffic goes through the node handler. inner is
+// borrowed: its bytes are serialized into a pooled buffer during the
+// call, so the caller may reuse the slice immediately.
 func (s *Switch) SendToPeer(inner []byte) {
 	s.encapAndSend(inner, 0)
 }
@@ -332,10 +361,9 @@ func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8) {
 		hdr.ExtFlags |= packet.TangoExtRelay
 		hdr.RelayTTL = relayTTL
 	}
-	if len(s.pendingReports) > 0 {
+	if s.prCount > 0 {
 		hdr.Flags |= packet.TangoFlagReport
-		hdr.Report = s.pendingReports[0]
-		s.pendingReports = s.pendingReports[1:]
+		hdr.Report = s.popReport()
 		s.Stats.ReportsSent++
 	}
 	if s.authKey != nil {
@@ -350,40 +378,58 @@ func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8) {
 		Dst:        tun.RemoteAddr,
 	}
 	pay := packet.Payload(inner)
+	// Serialize straight into a leased pooled buffer and hand it to the
+	// network with ownership — the steady-state sender program touches no
+	// allocator (the paper's eBPF program builds the encapsulation in a
+	// fixed per-packet buffer the same way).
+	pb := s.pool.Get()
+	buf := &pb.SerializeBuffer
 	if s.authKey != nil {
 		// Two-phase build: serialize the Tango datagram, sign it in
 		// place, then wrap it in UDP (whose checksum must cover the
 		// final tag) and IP.
-		s.buf.Clear()
-		if err := pay.SerializeTo(s.buf); err != nil {
+		err := pay.SerializeTo(buf)
+		if err == nil {
+			err = hdr.SerializeTo(buf)
+		}
+		if err == nil {
+			err = packet.SignTangoDatagram(s.authKey, buf.Bytes())
+		}
+		if err == nil {
+			err = udp.SerializeTo(buf)
+		}
+		if err == nil {
+			err = ip.SerializeTo(buf)
+		}
+		if err != nil {
 			s.Stats.BadPacket++
+			pb.Release()
 			return
 		}
-		if err := hdr.SerializeTo(s.buf); err != nil {
+	} else {
+		// Serialize bottom-up with direct method calls: passing the
+		// layer locals through the SerializableLayer interface would box
+		// each one onto the heap, and this is the per-packet hot path.
+		// The leased buffer arrives cleared, like the auth branch assumes.
+		err := pay.SerializeTo(buf)
+		if err == nil {
+			err = hdr.SerializeTo(buf)
+		}
+		if err == nil {
+			err = udp.SerializeTo(buf)
+		}
+		if err == nil {
+			err = ip.SerializeTo(buf)
+		}
+		if err != nil {
 			s.Stats.BadPacket++
+			pb.Release()
 			return
 		}
-		if err := packet.SignTangoDatagram(s.authKey, s.buf.Bytes()); err != nil {
-			s.Stats.BadPacket++
-			return
-		}
-		if err := udp.SerializeTo(s.buf); err != nil {
-			s.Stats.BadPacket++
-			return
-		}
-		if err := ip.SerializeTo(s.buf); err != nil {
-			s.Stats.BadPacket++
-			return
-		}
-	} else if err := packet.SerializeLayers(s.buf, &ip, &udp, &hdr, &pay); err != nil {
-		s.Stats.BadPacket++
-		return
 	}
-	out := make([]byte, s.buf.Len())
-	copy(out, s.buf.Bytes())
 	tun.Stats.Sent++
 	s.Stats.Encapped++
-	s.node.Inject(out)
+	s.node.InjectBuf(pb)
 }
 
 // isTangoPacket performs the cheap match an eBPF program would do before
@@ -456,7 +502,8 @@ func (s *Switch) receiverProgram(data []byte) {
 			return
 		}
 	}
-	out := make([]byte, len(inner))
-	copy(out, inner)
-	s.DeliverLocal(out)
+	// inner is a borrowed view into the arriving packet's pooled buffer
+	// (released by the node once the handler chain returns); DeliverLocal
+	// consumers copy if they retain. No per-packet copy here.
+	s.DeliverLocal(inner)
 }

@@ -97,7 +97,8 @@ func innerPkt(t *testing.T, payload string) []byte {
 func TestEncapDecapRoundTrip(t *testing.T) {
 	tp := newTestPair(t, 0, 0)
 	var delivered [][]byte
-	tp.swB.DeliverLocal = func(inner []byte) { delivered = append(delivered, inner) }
+	// DeliverLocal borrows its slice; copy to retain past the callback.
+	tp.swB.DeliverLocal = func(inner []byte) { delivered = append(delivered, append([]byte(nil), inner...)) }
 	var meas []Measurement
 	tp.swB.OnMeasure = func(m Measurement) { meas = append(meas, m) }
 
@@ -367,5 +368,105 @@ func TestBidirectionalIndependence(t *testing.T) {
 	}
 	if len(measB) != 1 || measB[0].PathID != 1 || measB[0].OWD != fastDelay {
 		t.Fatalf("A->B measurement: %+v", measB)
+	}
+}
+
+func TestQueueReportRingFIFO(t *testing.T) {
+	tp := newTestPair(t, 0, 0)
+	for i := 0; i < 5; i++ {
+		tp.swA.QueueReport(packet.OWDReport{PathID: 1, SampleCount: uint16(i)})
+	}
+	if got := tp.swA.PendingReports(); got != 5 {
+		t.Fatalf("PendingReports = %d, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if r := tp.swA.popReport(); r.SampleCount != uint16(i) {
+			t.Fatalf("pop %d = %+v, want SampleCount %d", i, r, i)
+		}
+	}
+	if got := tp.swA.PendingReports(); got != 0 {
+		t.Fatalf("PendingReports after drain = %d", got)
+	}
+}
+
+func TestQueueReportOverflowDropsOldest(t *testing.T) {
+	tp := newTestPair(t, 0, 0)
+	// Fill past capacity: the ring keeps the newest maxPendingReports.
+	for i := 0; i < maxPendingReports+4; i++ {
+		tp.swA.QueueReport(packet.OWDReport{PathID: 1, SampleCount: uint16(i)})
+	}
+	if got := tp.swA.PendingReports(); got != maxPendingReports {
+		t.Fatalf("PendingReports = %d, want %d", got, maxPendingReports)
+	}
+	for i := 0; i < maxPendingReports; i++ {
+		want := uint16(i + 4) // the 4 oldest were dropped
+		if r := tp.swA.popReport(); r.SampleCount != want {
+			t.Fatalf("pop %d = SampleCount %d, want %d", i, r.SampleCount, want)
+		}
+	}
+}
+
+func TestQueueReportReusesStorage(t *testing.T) {
+	tp := newTestPair(t, 0, 0)
+	// Wrap the ring many times over: enqueueing must reuse the fixed
+	// in-struct array rather than growing a slice.
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 3*maxPendingReports; i++ {
+			tp.swA.QueueReport(packet.OWDReport{PathID: 2, SampleCount: uint16(i)})
+		}
+		for tp.swA.PendingReports() > 0 {
+			tp.swA.popReport()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("QueueReport allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestRemoveTunnelReleasesLocalAddr(t *testing.T) {
+	tp := newTestPair(t, 0, 0)
+	local := netip.MustParseAddr("2001:db8:a1::1")
+	if !tp.swA.Node().OwnsAddr(local) {
+		t.Fatal("tunnel local address not owned after AddTunnel")
+	}
+	tp.swA.RemoveTunnel(1)
+	if tp.swA.Node().OwnsAddr(local) {
+		t.Fatal("tunnel local address still owned after RemoveTunnel")
+	}
+
+	// A Tango packet addressed to the withdrawn endpoint must no longer
+	// reach A's receiver program: swB still has its side of path 1, so
+	// send on it and watch the packet die in the network instead.
+	var delivered int
+	tp.swA.DeliverLocal = func([]byte) { delivered++ }
+	tun1B, _ := tp.swB.Tunnel(1)
+	tp.swB.SendOnTunnel(tun1B, innerPkt(t, "to a dead endpoint"))
+	tp.w.Run(time.Second)
+	if delivered != 0 || tp.swA.Stats.Decapped != 0 {
+		t.Fatalf("packet to removed tunnel endpoint was delivered (delivered=%d, decapped=%d)",
+			delivered, tp.swA.Stats.Decapped)
+	}
+	if tp.swA.Node().Stats.NoRoute == 0 {
+		t.Fatal("expected the packet to be dropped with NoRoute at the destination node")
+	}
+}
+
+func TestRemoveTunnelSharedAddrRefcount(t *testing.T) {
+	tp := newTestPair(t, 0, 0)
+	shared := netip.MustParseAddr("2001:db8:a2::1")
+	// A second tunnel claims the same local endpoint (core's provision
+	// shares the switch address across all tunnels of a site).
+	tp.swA.AddTunnel(&Tunnel{PathID: 3, Name: "alt",
+		LocalAddr:  shared,
+		RemoteAddr: netip.MustParseAddr("2001:db8:b2::1"),
+		SrcPort:    40003,
+	})
+	tp.swA.RemoveTunnel(3)
+	if !tp.swA.Node().OwnsAddr(shared) {
+		t.Fatal("shared local address released while another tunnel still uses it")
+	}
+	tp.swA.RemoveTunnel(2)
+	if tp.swA.Node().OwnsAddr(shared) {
+		t.Fatal("shared local address still owned after last claim removed")
 	}
 }

@@ -48,7 +48,9 @@ func (r *Relay) Attach(sw *Switch) { sw.relay = r }
 // a relay tag with the given TTL. It reports whether the packet was
 // consumed (forwarded or dropped); false means the inner destination has
 // no next segment here — the overlay route ends at this site and the
-// packet belongs to local delivery.
+// packet belongs to local delivery. inner is borrowed from the arriving
+// packet's buffer: re-encapsulation serializes it into a freshly leased
+// buffer before the call returns, so no bytes outlive the borrow.
 func (r *Relay) forward(inner []byte, ttl uint8) bool {
 	dst, ok := innerDst(inner)
 	if !ok {

@@ -148,7 +148,8 @@ func TestRelayTagOnWire(t *testing.T) {
 func TestRelayForwardReencapsulates(t *testing.T) {
 	c := newRelayChain(t)
 	var delivered [][]byte
-	c.swC.DeliverLocal = func(inner []byte) { delivered = append(delivered, inner) }
+	// DeliverLocal borrows its slice; copy to retain past the callback.
+	c.swC.DeliverLocal = func(inner []byte) { delivered = append(delivered, append([]byte(nil), inner...)) }
 	var measIn, measC []Measurement
 	c.swIn.OnMeasure = func(m Measurement) { measIn = append(measIn, m) }
 	c.swC.OnMeasure = func(m Measurement) { measC = append(measC, m) }

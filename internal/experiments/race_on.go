@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this binary was built with the race
+// detector, whose instrumentation inflates the E8 wall-clock numbers far
+// past the paper's line-rate budget.
+const raceEnabled = true

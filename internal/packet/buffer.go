@@ -102,6 +102,20 @@ func (b *SerializeBuffer) Clear() {
 	b.data = b.data[:b.start]
 }
 
+// SetBytes replaces the buffer contents with a copy of p, leaving no
+// front headroom (a received packet is parsed in place, not prepended
+// to). It grows the backing array only when p exceeds the capacity, so a
+// reused buffer loads packets without allocating.
+func (b *SerializeBuffer) SetBytes(p []byte) {
+	if cap(b.data) < len(p) {
+		b.data = make([]byte, len(p))
+	} else {
+		b.data = b.data[:len(p)]
+	}
+	b.start = 0
+	copy(b.data, p)
+}
+
 // SerializableLayer is a layer that can write itself in front of the
 // current buffer contents.
 type SerializableLayer interface {

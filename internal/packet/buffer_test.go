@@ -127,3 +127,98 @@ func TestChecksumRFC1071Vector(t *testing.T) {
 		t.Fatalf("odd checksum = %#x", got)
 	}
 }
+
+// Satellite: the amortized-doubling claim on the front-growth path. A
+// reused buffer that repeatedly takes large prepends must converge to a
+// bounded capacity instead of growing on every cycle.
+func TestSerializeBufferReuseCapacityBounded(t *testing.T) {
+	b := NewSerializeBufferExpectedSize(4, 4)
+	const chunk = 1200
+	b.Clear()
+	b.PrependBytes(chunk)
+	capAfterWarmup := cap(b.data)
+	for i := 0; i < 10000; i++ {
+		b.Clear()
+		b.PrependBytes(chunk)
+		b.PrependBytes(64) // header on top of the payload
+	}
+	if got := cap(b.data); got > 4*capAfterWarmup {
+		t.Fatalf("capacity grew without bound on reuse: %d after warmup, %d after 10k cycles", capAfterWarmup, got)
+	}
+}
+
+// A single growth event must at least double capacity (the invariant the
+// boundedness above rests on).
+func TestSerializeBufferGrowthDoubles(t *testing.T) {
+	b := NewSerializeBufferExpectedSize(8, 8)
+	for i := 0; i < 8; i++ {
+		before := cap(b.data)
+		b.PrependBytes(before + 1) // force a front growth
+		if got := cap(b.data); got < 2*before {
+			t.Fatalf("growth %d: cap %d -> %d, want >= %d", i, before, got, 2*before)
+		}
+		b.Clear()
+	}
+}
+
+// Clear invariants: empty buffer, most capacity as front headroom, a
+// fraction kept free at the back, and existing capacity untouched.
+func TestSerializeBufferClearHeadroom(t *testing.T) {
+	b := NewSerializeBufferExpectedSize(64, 64)
+	b.AppendBytes(40)
+	b.PrependBytes(30)
+	capBefore := cap(b.data)
+	b.Clear()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", b.Len())
+	}
+	if cap(b.data) != capBefore {
+		t.Fatalf("Clear changed capacity: %d -> %d", capBefore, cap(b.data))
+	}
+	c := cap(b.data)
+	wantStart := c - c/8
+	if b.start != wantStart {
+		t.Fatalf("Clear headroom: start = %d, want %d (cap %d)", b.start, wantStart, c)
+	}
+	// The headroom is immediately usable without growth.
+	b.PrependBytes(wantStart)
+	if cap(b.data) != capBefore {
+		t.Fatalf("prepend into advertised headroom grew buffer: %d -> %d", capBefore, cap(b.data))
+	}
+	// And the back free space likewise.
+	b.Clear()
+	b.AppendBytes(c / 8)
+	if cap(b.data) != capBefore {
+		t.Fatalf("append into advertised back space grew buffer: %d -> %d", capBefore, cap(b.data))
+	}
+}
+
+func TestSerializeBufferSetBytes(t *testing.T) {
+	b := NewSerializeBufferExpectedSize(16, 16)
+	pkt := []byte{1, 2, 3, 4, 5}
+	b.SetBytes(pkt)
+	if !bytes.Equal(b.Bytes(), pkt) {
+		t.Fatalf("SetBytes contents = %v", b.Bytes())
+	}
+	// Mutating the source must not affect the buffer (it copied).
+	pkt[0] = 99
+	if b.Bytes()[0] != 1 {
+		t.Fatal("SetBytes aliased its input")
+	}
+	// Reloading a smaller packet reuses the backing array.
+	capBefore := cap(b.data)
+	b.SetBytes([]byte{9})
+	if cap(b.data) != capBefore {
+		t.Fatalf("SetBytes reallocated for smaller input: %d -> %d", capBefore, cap(b.data))
+	}
+	if b.Len() != 1 || b.Bytes()[0] != 9 {
+		t.Fatalf("reload: len %d bytes %v", b.Len(), b.Bytes())
+	}
+	// A larger packet grows it.
+	big := make([]byte, capBefore+100)
+	big[len(big)-1] = 7
+	b.SetBytes(big)
+	if b.Len() != len(big) || b.Bytes()[len(big)-1] != 7 {
+		t.Fatalf("grow reload: len %d", b.Len())
+	}
+}

@@ -1,0 +1,107 @@
+package packet
+
+// Buf is a pooled packet buffer: a SerializeBuffer bound to the freelist
+// it came from. It is the unit of ownership on the simulator's packet
+// fast path — the equivalent of the fixed per-CPU buffer an eBPF program
+// works in, where the paper's data plane encapsulates and decapsulates
+// every packet without touching an allocator.
+//
+// Ownership convention (see DESIGN.md, "Fast path & buffer ownership"):
+//
+//   - Exactly one owner at a time. Passing a *Buf to a consuming function
+//     (Node.InjectBuf, Line.send, the engine's payload events) hands
+//     ownership over; the caller must not touch the Buf afterwards.
+//   - Whoever consumes a packet releases it: the node releases after the
+//     local-delivery handler returns, a dropping line or router releases
+//     at the drop site.
+//   - Byte slices derived from a Buf (Bytes, decoded layer payloads, the
+//     inner packet handed to DeliverLocal) are borrows: they are valid
+//     only until the owner releases the Buf. Retain a copy, not the slice.
+//
+// Release returns the Buf to its pool; releasing twice panics, because a
+// double release silently aliases two "owners" onto one buffer and
+// corrupts packets far from the bug.
+type Buf struct {
+	SerializeBuffer
+	pool   *BufPool
+	next   *Buf
+	leased bool
+}
+
+// Release returns the buffer to its pool. The Buf and every slice derived
+// from it are invalid afterwards.
+func (b *Buf) Release() {
+	if b.pool != nil {
+		b.pool.put(b)
+	}
+}
+
+// Buffer capacity policy: buffers start at defaultBufCap (an MTU-sized
+// inner packet plus worst-case encapsulation overhead fits without
+// growing) and are discarded on release once grown past maxPooledCap, so
+// one jumbo packet cannot permanently inflate the pool's footprint.
+const (
+	defaultBufCap = 2048
+	maxPooledCap  = 16384
+	maxPooledBufs = 4096
+)
+
+// BufPool is a freelist of fixed-capacity packet buffers. It is not
+// goroutine-safe: like the event engine, it belongs to one
+// single-goroutine simulation (each simnet.Network owns one).
+type BufPool struct {
+	free  *Buf
+	nfree int
+
+	// Stats counts pool activity; News on a warm steady state means the
+	// fast path is leaking buffers somewhere.
+	Stats struct {
+		Gets     uint64
+		News     uint64
+		Puts     uint64
+		Discards uint64
+	}
+}
+
+// NewBufPool returns an empty pool; buffers are created on demand and
+// recycled through Release.
+func NewBufPool() *BufPool { return &BufPool{} }
+
+// Get leases a cleared buffer from the pool (allocating one only when the
+// freelist is empty). The caller owns it until it hands the Buf off or
+// releases it.
+func (p *BufPool) Get() *Buf {
+	p.Stats.Gets++
+	b := p.free
+	if b == nil {
+		p.Stats.News++
+		b = &Buf{pool: p}
+		b.data = make([]byte, 0, defaultBufCap)
+	} else {
+		p.free = b.next
+		b.next = nil
+		p.nfree--
+	}
+	b.leased = true
+	b.Clear()
+	return b
+}
+
+// Free returns the number of buffers currently on the freelist.
+func (p *BufPool) Free() int { return p.nfree }
+
+func (p *BufPool) put(b *Buf) {
+	if !b.leased {
+		panic("packet: Buf released twice")
+	}
+	b.leased = false
+	p.Stats.Puts++
+	if cap(b.data) > maxPooledCap || p.nfree >= maxPooledBufs {
+		b.pool = nil // detach: a discarded Buf must not resurrect into the pool
+		p.Stats.Discards++
+		return
+	}
+	b.next = p.free
+	p.free = b
+	p.nfree++
+}

@@ -1,0 +1,168 @@
+// Package perf is the perf-regression harness for the packet fast path.
+// It exposes the three dataplane micro-benchmarks — encap, decap, and
+// link traversal — as plain functions over *testing.B so the same bodies
+// back the `go test -bench` wrappers (bench_test.go), the hard
+// zero-allocation assertions (perf_test.go), and the BENCH.json emitter
+// (cmd/tango-bench), which runs them through testing.Benchmark outside
+// a test binary.
+//
+// Each body warms the buffer/event freelists before ResetTimer so the
+// measured region is the steady state the pools are designed for: after
+// warmup the encap→inject→deliver path performs zero heap allocations,
+// and the assertions in perf_test.go fail the build if that regresses.
+package perf
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/dataplane"
+	"tango/internal/packet"
+	"tango/internal/simnet"
+)
+
+const payloadSize = 1024
+
+// warmupIters primes pools (packet buffers, engine event freelist, heap
+// storage) so steady-state measurement starts with everything recycled.
+const warmupIters = 128
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// buildInner serializes a host-level IPv6/UDP packet with a payload of
+// payloadSize zero bytes.
+func buildInner() []byte {
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(make([]byte, payloadSize))
+	udp := &packet.UDP{SrcPort: 7000, DstPort: 7001}
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64,
+		Src: mustAddr("2001:db8:aa::1"),
+		Dst: mustAddr("2001:db8:bb::1")}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		panic(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}
+
+// buildOuter wraps inner in a full Tango encapsulation addressed to the
+// given tunnel's local endpoint, as its remote peer would send it.
+func buildOuter(tun *dataplane.Tunnel, inner []byte) []byte {
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload(inner)
+	hdr := &packet.Tango{
+		Flags:    packet.TangoFlagSeq | packet.TangoFlagTimestamp | packet.TangoFlagInner6,
+		PathID:   tun.PathID,
+		SendTime: 1,
+	}
+	udp := &packet.UDP{SrcPort: 40001, DstPort: packet.TangoPort}
+	udp.SetNetworkForChecksum(tun.RemoteAddr, tun.LocalAddr)
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64,
+		Src: tun.RemoteAddr, Dst: tun.LocalAddr}
+	if err := packet.SerializeLayers(buf, ip, udp, hdr, &pay); err != nil {
+		panic(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}
+
+// BenchEncap measures the sender program — classify, lease a pooled
+// buffer, encapsulate, timestamp, checksum, inject — on 1 KiB payloads.
+// The fixture has no route for the tunnel's remote endpoint, so each
+// packet is consumed (and its buffer recycled) at the local node and the
+// loop measures exactly one encap per iteration.
+func BenchEncap(b *testing.B) {
+	w := simnet.New(1)
+	n := w.AddNode("bench", 0)
+	sw := dataplane.NewSwitch(n)
+	tun := &dataplane.Tunnel{
+		PathID:     1,
+		Name:       "bench",
+		LocalAddr:  mustAddr("2001:db8:1::1"),
+		RemoteAddr: mustAddr("2001:db8:2::1"),
+		SrcPort:    40001,
+	}
+	sw.AddTunnel(tun)
+	inner := buildInner()
+	for i := 0; i < warmupIters; i++ {
+		sw.SendOnTunnel(tun, inner)
+	}
+	w.Eng.RunAll()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(inner)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.SendOnTunnel(tun, inner)
+	}
+	b.StopTimer()
+	w.Eng.RunAll()
+	if sw.Stats.Encapped != uint64(b.N+warmupIters) {
+		b.Fatalf("encapped %d of %d", sw.Stats.Encapped, b.N+warmupIters)
+	}
+}
+
+// BenchDecap measures the receiver program — parse, verify, one-way
+// delay measurement, decap, local delivery — on 1 KiB payloads.
+func BenchDecap(b *testing.B) {
+	w := simnet.New(2)
+	n := w.AddNode("recv", 0)
+	sw := dataplane.NewSwitch(n)
+	tun := &dataplane.Tunnel{PathID: 1,
+		LocalAddr:  mustAddr("2001:db8:2::1"), // remote's view
+		RemoteAddr: mustAddr("2001:db8:1::1"),
+	}
+	outer := buildOuter(tun, buildInner())
+	n.AddAddr(tun.LocalAddr)
+	measured := 0
+	sw.OnMeasure = func(dataplane.Measurement) { measured++ }
+	for i := 0; i < warmupIters; i++ {
+		n.Inject(outer)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(outer)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Inject(outer)
+	}
+	b.StopTimer()
+	if measured != b.N+warmupIters {
+		b.Fatalf("measured %d of %d", measured, b.N+warmupIters)
+	}
+}
+
+// BenchLinkTraverse measures one full link traversal: inject at A,
+// serialize onto the line, closure-free delivery event through the
+// engine, arrival and local consumption at B. Each iteration runs the
+// engine to completion, so the event freelist and the packet buffer are
+// recycled every op.
+func BenchLinkTraverse(b *testing.B) {
+	w := simnet.New(3)
+	na := w.AddNode("a", 0)
+	nb := w.AddNode("b", 0)
+	w.Connect(na, nb,
+		simnet.LinkConfig{Delay: simnet.FixedDelay(time.Millisecond)},
+		simnet.LinkConfig{Delay: simnet.FixedDelay(time.Millisecond)})
+	dst := mustAddr("2001:db8:bb::1")
+	nb.AddAddr(dst)
+	na.SetRoute(addr.MustParsePrefix("2001:db8:bb::/48"), na.Ports()[0])
+	pkt := buildInner()
+	for i := 0; i < warmupIters; i++ {
+		na.Inject(pkt)
+		w.Eng.RunAll()
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(pkt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		na.Inject(pkt)
+		w.Eng.RunAll()
+	}
+	b.StopTimer()
+	if nb.Stats.Delivered != uint64(b.N+warmupIters) {
+		b.Fatalf("delivered %d of %d", nb.Stats.Delivered, b.N+warmupIters)
+	}
+}

@@ -1,0 +1,34 @@
+package perf
+
+import "testing"
+
+// The zero-allocation assertions are the teeth of the perf-regression
+// harness: they run the micro-benchmarks through testing.Benchmark and
+// hard-fail if the steady-state fast path allocates at all, so an
+// accidental per-packet allocation breaks `go test ./...` rather than
+// silently eroding throughput.
+
+func assertZeroAlloc(t *testing.T, name string, fn func(*testing.B)) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping alloc regression check in -short mode")
+	}
+	res := testing.Benchmark(fn)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("%s allocates %d times per op (%d B/op), want 0 — the packet fast path has regressed",
+			name, a, res.AllocedBytesPerOp())
+	}
+}
+
+func TestEncapZeroAlloc(t *testing.T) { assertZeroAlloc(t, "BenchEncap", BenchEncap) }
+func TestDecapZeroAlloc(t *testing.T) { assertZeroAlloc(t, "BenchDecap", BenchDecap) }
+func TestLinkTraverseZeroAlloc(t *testing.T) {
+	assertZeroAlloc(t, "BenchLinkTraverse", BenchLinkTraverse)
+}
+
+// Wrappers so `go test -bench` in this package reports the same numbers
+// the assertions check.
+
+func BenchmarkEncap(b *testing.B)        { BenchEncap(b) }
+func BenchmarkDecap(b *testing.B)        { BenchDecap(b) }
+func BenchmarkLinkTraverse(b *testing.B) { BenchLinkTraverse(b) }

@@ -29,12 +29,33 @@ const Forever Time = math.MaxInt64
 
 // Event is a scheduled callback. The callback runs exactly once, at the
 // scheduled virtual time, unless cancelled first.
+//
+// An event carries either a plain closure (fn) or a closure-free
+// (handler, payload) pair — the latter is the packet fast path: a link
+// schedules delivery by storing itself and the packet buffer directly in
+// the event, so per-packet scheduling allocates nothing (both fields are
+// single pointers; neither boxing a pointer into an interface nor the
+// freelist reuse below touches the heap).
 type Event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among events at the same instant
-	fn   func()
-	idx  int // heap index; -1 once fired or cancelled
-	next *Event
+	at      Time
+	seq     uint64 // tie-breaker: FIFO among events at the same instant
+	fn      func()
+	handler ArgHandler
+	arg     any
+	idx     int // heap index; -1 once fired or cancelled
+	next    *Event
+}
+
+// ArgHandler consumes payload-carrying events scheduled with ScheduleArg.
+// Implementations are long-lived objects (a link direction, a port); the
+// engine stores the receiver itself in the event rather than a closure
+// over it.
+type ArgHandler interface {
+	// OnSimEvent runs at the event's scheduled instant with the payload
+	// that was scheduled. Ownership conventions for the payload are the
+	// scheduler's business; a cancelled event's payload is dropped
+	// without a callback.
+	OnSimEvent(arg any)
 }
 
 // Cancelled reports whether the event was cancelled or has already fired.
@@ -95,10 +116,48 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 }
 
 func (e *Engine) scheduleAt(t Time, fn func()) *Event {
+	ev := e.push(t)
+	ev.fn = fn
+	return ev
+}
+
+// ScheduleArg runs h.OnSimEvent(arg) after delay d of virtual time, like
+// Schedule but without a closure: the (handler, payload) pair rides the
+// event itself, so scheduling through the event freelist is
+// allocation-free. A negative delay is treated as zero.
+func (e *Engine) ScheduleArg(d time.Duration, h ArgHandler, arg any) *Event {
+	if h == nil {
+		panic("sim: ScheduleArg with nil handler")
+	}
+	if d < 0 {
+		d = 0
+	}
+	return e.scheduleArgAt(e.now+d, h, arg)
+}
+
+// ScheduleArgAt is ScheduleArg at an absolute virtual time. Scheduling in
+// the past panics, as with ScheduleAt.
+func (e *Engine) ScheduleArgAt(t Time, h ArgHandler, arg any) *Event {
+	if h == nil {
+		panic("sim: ScheduleArgAt with nil handler")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleArgAt(%v) in the past (now %v)", t, e.now))
+	}
+	return e.scheduleArgAt(t, h, arg)
+}
+
+func (e *Engine) scheduleArgAt(t Time, h ArgHandler, arg any) *Event {
+	ev := e.push(t)
+	ev.handler = h
+	ev.arg = arg
+	return ev
+}
+
+func (e *Engine) push(t Time) *Event {
 	ev := e.alloc()
 	ev.at = t
 	ev.seq = e.seq
-	ev.fn = fn
 	e.seq++
 	heap.Push(&e.pq, ev)
 	e.Stats.Scheduled++
@@ -114,6 +173,8 @@ func (e *Engine) Cancel(ev *Event) {
 	heap.Remove(&e.pq, ev.idx)
 	ev.idx = -1
 	ev.fn = nil
+	ev.handler = nil
+	ev.arg = nil
 	e.Stats.Cancelled++
 	e.release(ev)
 }
@@ -127,11 +188,15 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.pq).(*Event)
 	ev.idx = -1
 	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
+	fn, h, arg := ev.fn, ev.handler, ev.arg
+	ev.fn, ev.handler, ev.arg = nil, nil, nil
 	e.release(ev)
 	e.Stats.Fired++
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		h.OnSimEvent(arg)
+	}
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tango/internal/packet"
 	"tango/internal/sim"
 )
 
@@ -52,27 +53,35 @@ func (l *Line) SetDown(down bool) { l.down = down }
 // Down reports the administrative state.
 func (l *Line) Down() bool { return l.down }
 
-// send moves a packet across this direction of the link.
-func (l *Line) send(data []byte) {
+// send moves a packet across this direction of the link. It takes
+// ownership of pb: a dropped or lost packet is released here, a
+// delivered one is handed to the engine as a closure-free payload event
+// and released by the receiving node — so per-packet link traversal
+// allocates nothing.
+func (l *Line) send(pb *packet.Buf) {
 	eng := l.from.node.net.Eng
 	if l.down {
 		l.Stats.Dropped++
+		pb.Release()
 		return
 	}
+	size := pb.Len()
 	l.Stats.Tx++
-	l.Stats.Bytes += uint64(len(data))
+	l.Stats.Bytes += uint64(size)
 	if l.rngLoss.Bernoulli(l.lossProb) {
 		l.Stats.Lost++
+		pb.Release()
 		return
 	}
 	var txDone sim.Time
 	now := eng.Now()
 	if l.bandwidthBps > 0 {
-		ser := time.Duration(float64(len(data)) * 8 / l.bandwidthBps * float64(time.Second))
+		ser := time.Duration(float64(size) * 8 / l.bandwidthBps * float64(time.Second))
 		start := now
 		if l.busyUntil > start {
 			if l.queueLimit > 0 && l.queued >= l.queueLimit {
 				l.Stats.Dropped++
+				pb.Release()
 				return
 			}
 			start = l.busyUntil
@@ -84,14 +93,20 @@ func (l *Line) send(data []byte) {
 		txDone = now
 	}
 	prop := l.shaper.Sample(now, l.rngDelay)
-	to := l.to
-	eng.ScheduleAt(txDone+prop, func() {
-		if l.bandwidthBps > 0 {
-			l.queued--
-		}
-		l.Stats.Rx++
-		to.node.deliverFromLink(to, data)
-	})
+	eng.ScheduleArgAt(txDone+prop, l, pb)
+}
+
+// OnSimEvent implements sim.ArgHandler: it is the arrival half of send,
+// fired by the engine at the packet's delivery instant with the in-flight
+// buffer as payload. Ownership of the buffer passes to the receiving
+// node.
+func (l *Line) OnSimEvent(arg any) {
+	pb := arg.(*packet.Buf)
+	if l.bandwidthBps > 0 {
+		l.queued--
+	}
+	l.Stats.Rx++
+	l.to.node.deliverFromLink(l.to, pb)
 }
 
 // Port is a node's attachment to one end of a link.
@@ -122,7 +137,8 @@ func (p *Port) In() *Line { return p.in }
 // Name returns "node:idx".
 func (p *Port) Name() string { return fmt.Sprintf("%s:%d", p.node.name, p.idx) }
 
-func (p *Port) transmit(data []byte) { p.out.send(data) }
+// transmit hands a packet (ownership included) to the outgoing line.
+func (p *Port) transmit(pb *packet.Buf) { p.out.send(pb) }
 
 // Link is a full-duplex connection between two nodes, with an independent
 // Line per direction (the paper measures one-way behaviour precisely

@@ -6,16 +6,20 @@ import (
 	"sort"
 	"time"
 
+	"tango/internal/packet"
 	"tango/internal/sim"
 )
 
-// Network owns the nodes and links of one simulated internet.
+// Network owns the nodes and links of one simulated internet, plus the
+// packet-buffer pool every in-flight packet lives in. Like the engine,
+// the pool is single-goroutine: one Network, one goroutine.
 type Network struct {
 	Eng     *sim.Engine
 	Streams *sim.Streams
 
 	nodes map[string]*Node
 	links []*Link
+	pool  *packet.BufPool
 }
 
 // New creates an empty network over a fresh engine seeded with seed.
@@ -24,8 +28,14 @@ func New(seed int64) *Network {
 		Eng:     sim.NewEngine(),
 		Streams: sim.NewStreams(seed),
 		nodes:   make(map[string]*Node),
+		pool:    packet.NewBufPool(),
 	}
 }
+
+// BufPool returns the network's packet-buffer pool. Components that
+// originate packets (the Tango data plane) lease buffers here and hand
+// them to InjectBuf; see the ownership rules on packet.Buf.
+func (w *Network) BufPool() *packet.BufPool { return w.pool }
 
 // AddNode creates a node with the given wall-clock offset from virtual
 // time. Duplicate names panic: scenario construction bugs should be loud.
@@ -37,7 +47,7 @@ func (w *Network) AddNode(name string, clockOffset time.Duration) *Node {
 		name:  name,
 		net:   w,
 		clock: sim.NewClock(w.Eng, clockOffset, 0),
-		owned: make(map[netip.Addr]bool),
+		owned: make(map[netip.Addr]int),
 	}
 	w.nodes[name] = n
 	return n

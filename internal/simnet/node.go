@@ -11,7 +11,9 @@ import (
 )
 
 // Handler consumes packets delivered locally to a node (the destination
-// address is owned by the node). The data slice is owned by the callee.
+// address is owned by the node). The data slice is a borrow: it views a
+// pooled packet buffer that the node releases as soon as the handler
+// returns, so a handler that wants to keep bytes must copy them.
 type Handler func(from *Port, data []byte)
 
 // NodeStats counts per-node data-plane activity.
@@ -34,10 +36,16 @@ type Node struct {
 	net   *Network
 	clock *sim.Clock
 
-	fib     addr.Trie[*RouteEntry]
-	owned   map[netip.Addr]bool
-	ports   []*Port
-	handler Handler
+	fib   addr.Trie[*RouteEntry]
+	owned map[netip.Addr]int // refcounted: tunnels may share an address
+	// fibCache memoizes full-address FIB lookups (nil = cached miss);
+	// any FIB mutation flushes it. Real routers keep the same structure
+	// as a host/route cache in front of the LPM table, and the simulated
+	// traffic concentrates on a handful of destinations, so this turns
+	// the per-packet bit-by-bit trie walk into one map probe.
+	fibCache map[netip.Addr]*RouteEntry
+	ports    []*Port
+	handler  Handler
 
 	Stats NodeStats
 }
@@ -64,11 +72,27 @@ func (n *Node) Ports() []*Port { return n.ports }
 // SetHandler installs the local-delivery callback.
 func (n *Node) SetHandler(h Handler) { n.handler = h }
 
-// AddAddr marks ip as owned: packets to ip are delivered locally.
-func (n *Node) AddAddr(ip netip.Addr) { n.owned[ip] = true }
+// AddAddr marks ip as owned: packets to ip are delivered locally. Claims
+// are refcounted — several tunnels may legitimately share one local
+// address — so an address stays owned until RemoveAddr balances every
+// AddAddr.
+func (n *Node) AddAddr(ip netip.Addr) { n.owned[ip]++ }
+
+// RemoveAddr drops one claim on ip, releasing local delivery once no
+// claims remain (e.g. a withdrawn tunnel endpoint). Removing an address
+// that was never added is a no-op.
+func (n *Node) RemoveAddr(ip netip.Addr) {
+	if c, ok := n.owned[ip]; ok {
+		if c <= 1 {
+			delete(n.owned, ip)
+		} else {
+			n.owned[ip] = c - 1
+		}
+	}
+}
 
 // OwnsAddr reports whether ip is local to this node.
-func (n *Node) OwnsAddr(ip netip.Addr) bool { return n.owned[ip] }
+func (n *Node) OwnsAddr(ip netip.Addr) bool { return n.owned[ip] > 0 }
 
 // SetRoute installs (or replaces) a FIB route for p via the given ports.
 func (n *Node) SetRoute(p addr.Prefix, ports ...*Port) {
@@ -81,10 +105,37 @@ func (n *Node) SetRoute(p addr.Prefix, ports ...*Port) {
 		}
 	}
 	n.fib.Insert(p, &RouteEntry{Ports: ports})
+	clear(n.fibCache)
 }
 
 // DelRoute removes the FIB route for p, reporting whether it existed.
-func (n *Node) DelRoute(p addr.Prefix) bool { return n.fib.Delete(p) }
+func (n *Node) DelRoute(p addr.Prefix) bool {
+	clear(n.fibCache)
+	return n.fib.Delete(p)
+}
+
+// lookupCached resolves dst through the route cache, falling back to the
+// LPM trie and memoizing the result (including misses).
+func (n *Node) lookupCached(dst netip.Addr) *RouteEntry {
+	if ent, ok := n.fibCache[dst]; ok {
+		return ent
+	}
+	ent, _, found := n.fib.Lookup(dst)
+	if !found {
+		ent = nil
+	}
+	if n.fibCache == nil {
+		n.fibCache = make(map[netip.Addr]*RouteEntry)
+	} else if len(n.fibCache) >= maxFIBCacheEntries {
+		clear(n.fibCache) // bound memory under adversarial dst churn
+	}
+	n.fibCache[dst] = ent
+	return ent
+}
+
+// maxFIBCacheEntries bounds the route cache; simulated traffic uses a
+// handful of destinations, so the bound only matters for scans.
+const maxFIBCacheEntries = 4096
 
 // LookupRoute returns the FIB entry matching ip.
 func (n *Node) LookupRoute(ip netip.Addr) (*RouteEntry, addr.Prefix, bool) {
@@ -95,51 +146,70 @@ func (n *Node) LookupRoute(ip netip.Addr) (*RouteEntry, addr.Prefix, bool) {
 func (n *Node) FIBLen() int { return n.fib.Len() }
 
 // Inject originates a packet from this node: it is routed exactly as if
-// it had arrived from a local application.
+// it had arrived from a local application. The bytes are copied into a
+// pooled buffer (the caller keeps ownership of data); components on the
+// fast path serialize directly into a leased buffer and use InjectBuf
+// instead, which copies nothing.
 func (n *Node) Inject(data []byte) {
+	pb := n.net.pool.Get()
+	pb.SetBytes(data)
+	n.InjectBuf(pb)
+}
+
+// InjectBuf originates a packet held in a pooled buffer, taking ownership
+// of pb: the network releases it when the packet is consumed (delivered,
+// dropped, or lost), and the caller must not touch pb afterwards.
+func (n *Node) InjectBuf(pb *packet.Buf) {
 	n.Stats.Sent++
-	n.route(nil, data)
+	n.route(nil, pb)
 }
 
 // deliverFromLink is called when a packet arrives on one of the node's
-// ports after traversing a link.
-func (n *Node) deliverFromLink(from *Port, data []byte) {
-	n.route(from, data)
+// ports after traversing a link. Ownership of pb passes to the node.
+func (n *Node) deliverFromLink(from *Port, pb *packet.Buf) {
+	n.route(from, pb)
 }
 
 // route implements the forwarding pipeline: parse destination, local
-// delivery check, TTL, LPM, ECMP port choice, transmit.
-func (n *Node) route(from *Port, data []byte) {
+// delivery check, TTL, LPM, ECMP port choice, transmit. It owns pb:
+// every non-transmit exit releases the buffer (local delivery hands the
+// handler a borrowed view first), and transmit passes ownership onward.
+func (n *Node) route(from *Port, pb *packet.Buf) {
+	data := pb.Bytes()
 	dst, hop, ok := parseForForwarding(data)
 	if !ok {
 		n.Stats.ParseErr++
+		pb.Release()
 		return
 	}
-	if n.owned[dst] {
+	if n.owned[dst] > 0 {
 		n.Stats.Delivered++
 		if n.handler != nil {
 			n.handler(from, data)
 		}
+		pb.Release()
 		return
 	}
 	if from != nil { // transit: decrement hop limit
 		if hop <= 1 {
 			n.Stats.TTLExpired++
+			pb.Release()
 			return
 		}
 		decHopLimit(data)
 		n.Stats.Forwarded++
 	}
-	ent, _, found := n.fib.Lookup(dst)
-	if !found {
+	ent := n.lookupCached(dst)
+	if ent == nil {
 		n.Stats.NoRoute++
+		pb.Release()
 		return
 	}
 	port := ent.Ports[0]
 	if len(ent.Ports) > 1 {
 		port = ent.Ports[flowHash(data)%uint32(len(ent.Ports))]
 	}
-	port.transmit(data)
+	port.transmit(pb)
 }
 
 // parseForForwarding extracts the destination address and hop limit from
@@ -231,17 +301,15 @@ func flowHash(data []byte) uint32 {
 }
 
 // LocalOut builds a convenience sender bound to this node: it serializes
-// the given layers into a fresh buffer and injects the result. Intended
-// for tests and simple workloads; the Tango data plane manages its own
-// buffers.
+// the given layers straight into a pooled buffer and injects the result,
+// so even the convenience path is allocation-free in steady state.
 func (n *Node) LocalOut(layers ...packet.SerializableLayer) error {
-	buf := packet.NewSerializeBuffer()
-	if err := packet.SerializeLayers(buf, layers...); err != nil {
+	pb := n.net.pool.Get()
+	if err := packet.SerializeLayers(&pb.SerializeBuffer, layers...); err != nil {
+		pb.Release()
 		return err
 	}
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	n.Inject(out)
+	n.InjectBuf(pb)
 	return nil
 }
 

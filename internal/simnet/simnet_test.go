@@ -381,7 +381,7 @@ func TestIPv4ForwardingChecksumRepair(t *testing.T) {
 	copy(raw, buf.Bytes())
 
 	var delivered []byte
-	b.SetHandler(func(_ *Port, data []byte) { delivered = data })
+	b.SetHandler(func(_ *Port, data []byte) { delivered = append([]byte(nil), data...) })
 	a.Inject(raw)
 	w.Run(time.Second)
 	if delivered == nil {

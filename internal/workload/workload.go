@@ -103,15 +103,15 @@ func NewAppGen(eng *sim.Engine, sw *dataplane.Switch, src, dst netip.Addr, inter
 }
 
 func (g *AppGen) emit(now sim.Time) {
-	pkt := make([]byte, len(g.template))
-	copy(pkt, g.template)
-	// Stamp the sequence number into the first 4 payload bytes
-	// (offset: IPv6 40 + UDP 8).
-	binary.BigEndian.PutUint32(pkt[48:52], g.seq)
+	// SendToPeer borrows the slice (the switch serializes it into a
+	// pooled buffer before returning), so the template is reused across
+	// packets: stamp the sequence number into the first 4 payload bytes
+	// (offset: IPv6 40 + UDP 8) in place.
+	binary.BigEndian.PutUint32(g.template[48:52], g.seq)
 	g.sentAt[g.seq] = now
 	g.seq++
 	g.Pending++
-	g.sw.SendToPeer(pkt)
+	g.sw.SendToPeer(g.template)
 }
 
 // Sink consumes an inner packet delivered at the receiving site and, if

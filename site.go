@@ -15,6 +15,9 @@ import (
 type Site struct {
 	lab  *Lab
 	site *core.Site
+	// sendBuf is reused across Send calls: the core only borrows the
+	// serialized bytes (the switch copies them into a pooled buffer).
+	sendBuf *packet.SerializeBuffer
 }
 
 // Name returns "ny" or "la".
@@ -119,17 +122,17 @@ func (s *Site) HostAddr(idx uint64) netip.Addr {
 // between the given host addresses and ports. The border switch tunnels
 // it over the controller's current path.
 func (s *Site) Send(srcHost, dstHost netip.Addr, srcPort, dstPort uint16, payload []byte) error {
-	buf := packet.NewSerializeBuffer()
+	if s.sendBuf == nil {
+		s.sendBuf = packet.NewSerializeBuffer()
+	}
 	pay := packet.Payload(payload)
 	udp := &packet.UDP{SrcPort: srcPort, DstPort: dstPort}
 	udp.SetNetworkForChecksum(srcHost, dstHost)
 	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: srcHost, Dst: dstHost}
-	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+	if err := packet.SerializeLayers(s.sendBuf, ip, udp, &pay); err != nil {
 		return err
 	}
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	s.site.Send(out)
+	s.site.Send(s.sendBuf.Bytes())
 	return nil
 }
 
@@ -166,13 +169,16 @@ func deliverySink(now func() time.Duration, dstPort uint16, fn func(Delivery)) f
 		if ip.DecodeFromBytes(inner) != nil || udp.DecodeFromBytes(ip.LayerPayload()) != nil {
 			return false
 		}
+		// The inner slice views a pooled packet buffer that is recycled
+		// after the sink chain returns; Delivery is a public value users
+		// retain, so its payload must be an owned copy.
 		fn(Delivery{
 			At:      now(),
 			Src:     ip.Src,
 			Dst:     ip.Dst,
 			SrcPort: udp.SrcPort,
 			DstPort: udp.DstPort,
-			Payload: udp.LayerPayload(),
+			Payload: append([]byte(nil), udp.LayerPayload()...),
 		})
 		return true
 	}
