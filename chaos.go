@@ -1,0 +1,161 @@
+package tango
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/chaos"
+)
+
+// Chaos is the public handle on the deterministic fault-injection engine
+// (internal/chaos) for a Mesh. Every provider trunk is registered as the
+// fault target "trunk/<site>/<provider>" and every pairwise Tango edge
+// server as "edge/<site>:<peer>"; faults fire at exact virtual instants,
+// random storms are drawn from the mesh's seeded RNG streams, and the
+// whole-network conservation and buffer-balance invariants are checked
+// continuously — so a fault campaign either reproduces byte for byte
+// from its seed or fails loudly.
+type Chaos struct {
+	m   *Mesh
+	eng *chaos.Engine
+}
+
+// Chaos returns the mesh's fault-injection handle, creating it on first
+// use. Creation registers every trunk line and edge speaker as a named
+// target and starts conservation and buffer-balance checks on a 250 ms
+// cadence.
+func (m *Mesh) Chaos() (*Chaos, error) {
+	if m.buildErr != nil {
+		return nil, m.buildErr
+	}
+	if m.chaos != nil {
+		return m.chaos, nil
+	}
+	ch := chaos.New(m.scenario.B.Eng())
+	for _, site := range m.scenario.SiteNames {
+		for prov, line := range m.scenario.Trunk[site] {
+			ch.AddLine("trunk/"+site+"/"+prov, line)
+		}
+	}
+	for key, e := range m.scenario.Edges {
+		ch.AddSpeaker("edge/"+key, e.Speaker)
+	}
+	ch.Watch(chaos.Conservation("mesh", m.scenario.B.W))
+	ch.Watch(chaos.BufferBalance("mesh", m.scenario.B.W))
+	ch.StartChecks(250 * time.Millisecond)
+	m.chaos = &Chaos{m: m, eng: ch}
+	return m.chaos, nil
+}
+
+// trunk resolves a site/provider pair to its registered target name.
+func (c *Chaos) trunk(site, provider string) (string, error) {
+	name := "trunk/" + site + "/" + provider
+	if c.eng.Line(name) == nil {
+		return "", fmt.Errorf("tango: no trunk into site %q via provider %q", site, provider)
+	}
+	return name, nil
+}
+
+// LinkDown takes the provider trunk into site admin-down after in, for
+// dur. Packets already in flight still arrive; everything offered while
+// down is dropped at admission.
+func (c *Chaos) LinkDown(site, provider string, in, dur time.Duration) error {
+	name, err := c.trunk(site, provider)
+	if err != nil {
+		return err
+	}
+	c.eng.Schedule(chaos.LinkDown{Target: name, At: c.m.Now() + in, For: dur})
+	return nil
+}
+
+// LossBurst sets the provider trunk into site to the given loss
+// probability after in, restoring the previous probability after dur.
+func (c *Chaos) LossBurst(site, provider string, in, dur time.Duration, loss float64) error {
+	name, err := c.trunk(site, provider)
+	if err != nil {
+		return err
+	}
+	c.eng.Schedule(chaos.LossBurst{Target: name, At: c.m.Now() + in, For: dur, Loss: loss})
+	return nil
+}
+
+// DelayShift adds delta of one-way delay on the provider trunk into site
+// after in, removing it after dur.
+func (c *Chaos) DelayShift(site, provider string, in, dur, delta time.Duration) error {
+	name, err := c.trunk(site, provider)
+	if err != nil {
+		return err
+	}
+	c.eng.Schedule(chaos.DelayShift{Target: name, At: c.m.Now() + in, For: dur, Delta: delta})
+	return nil
+}
+
+// WithdrawPath withdraws the pinned BGP prefix that site announces for
+// path id of its Tango pair with peer — killing that path of the
+// peer-to-site direction at the routing layer — and re-announces it with
+// identical attributes after dur. The mesh must be established first
+// (path prefixes exist only after establishment).
+func (c *Chaos) WithdrawPath(site, peer string, id uint8, in, dur time.Duration) error {
+	if c.m.mesh == nil {
+		return fmt.Errorf("tango: mesh not established")
+	}
+	st := c.m.mesh.Member(site, peer)
+	if st == nil {
+		return fmt.Errorf("tango: no deployment %s:%s", site, peer)
+	}
+	pfx, err := st.PinnedPrefix(id)
+	if err != nil {
+		return err
+	}
+	c.eng.Schedule(chaos.Withdrawal{
+		Speaker: "edge/" + site + ":" + peer,
+		Prefix:  pfx,
+		At:      c.m.Now() + in,
+		For:     dur,
+	})
+	return nil
+}
+
+// Storm schedules n seeded-random faults — link flaps, loss bursts,
+// delay shifts, withdrawals — uniformly over the window starting after
+// in, and returns their labels in schedule order. The draw comes from
+// the mesh's named RNG streams, so a storm replays exactly from the
+// mesh seed.
+func (c *Chaos) Storm(n int, in, window time.Duration) []string {
+	return c.eng.ScheduleStorm(c.m.scenario.B.W.Streams.Stream("chaos-storm"), chaos.StormConfig{
+		Faults: n,
+		Start:  c.m.Now() + in,
+		Window: window,
+	})
+}
+
+// CheckNow runs every registered invariant once at the current instant.
+func (c *Chaos) CheckNow() { c.eng.CheckNow() }
+
+// Violations returns every invariant failure observed so far, rendered
+// one per entry.
+func (c *Chaos) Violations() []string {
+	vs := c.eng.Violations()
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// Events returns the chaos event log — fault applications, reversions,
+// and violations — one entry per line, in virtual-time order.
+func (c *Chaos) Events() []string {
+	entries := c.eng.Log()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = fmt.Sprintf("t=%s %s", e.At, e.Msg)
+	}
+	return out
+}
+
+// Targets returns the registered fault target names (trunks then edge
+// speakers), sorted within each group.
+func (c *Chaos) Targets() []string {
+	return append(c.eng.LineNames(), c.eng.SpeakerNames()...)
+}

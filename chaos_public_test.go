@@ -1,0 +1,76 @@
+package tango
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMeshChaosFaultCampaign drives the public chaos API end to end on
+// the default three-site mesh: named targets resolve, faults apply and
+// revert on schedule, a withdrawal round-trips through the edge speaker,
+// and the always-on conservation invariants stay silent throughout.
+func TestMeshChaosFaultCampaign(t *testing.T) {
+	m := NewMesh(MeshOptions{Seed: 1})
+	if err := m.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := m.Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch2, _ := m.Chaos(); ch2 != ch {
+		t.Fatal("second Chaos() call built a new engine")
+	}
+	if len(ch.Targets()) == 0 {
+		t.Fatal("no fault targets registered")
+	}
+
+	if err := ch.LinkDown("nowhere", "NTT", time.Second, time.Second); err == nil {
+		t.Fatal("bogus trunk target accepted")
+	}
+	if err := ch.WithdrawPath("ny", "nowhere", 1, time.Second, time.Second); err == nil {
+		t.Fatal("bogus withdrawal target accepted")
+	}
+
+	paths, err := m.Paths("ny", "chi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("expected multiple ny->chi paths, got %d", len(paths))
+	}
+	prov := paths[0].Provider
+
+	if err := ch.LinkDown("chi", prov, time.Second, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.LossBurst("chi", prov, 6*time.Second, time.Second, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.DelayShift("chi", prov, 8*time.Second, time.Second, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.WithdrawPath("chi", "ny", 1, 2*time.Second, 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(12 * time.Second)
+	ch.CheckNow()
+
+	events := strings.Join(ch.Events(), "\n")
+	for _, want := range []string{
+		"apply link-down trunk/chi/" + prov,
+		"revert link-down trunk/chi/" + prov,
+		"apply loss-burst trunk/chi/" + prov,
+		"apply delay-shift trunk/chi/" + prov,
+		"apply withdraw edge/chi:ny",
+		"revert withdraw edge/chi:ny",
+	} {
+		if !strings.Contains(events, want) {
+			t.Fatalf("missing %q in event log:\n%s", want, events)
+		}
+	}
+	if vs := ch.Violations(); len(vs) != 0 {
+		t.Fatalf("invariant violations during campaign: %v", vs)
+	}
+}

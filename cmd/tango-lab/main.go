@@ -1,5 +1,5 @@
 // Command tango-lab regenerates the paper's evaluation: every figure and
-// in-text number from §4.1 and §5 (plus the supporting analyses E6-E10
+// in-text number from §4.1 and §5 (plus the supporting analyses E6-E11
 // from DESIGN.md) on the simulated Vultr deployment.
 //
 // Usage:
@@ -34,7 +34,7 @@ func main() {
 
 func realMain() int {
 	var (
-		run        = flag.String("run", "all", "comma-separated experiment ids (e1..e10) or 'all'")
+		run        = flag.String("run", "all", "comma-separated experiment ids (e1..e11) or 'all'")
 		seed       = flag.Int64("seed", 1, "random seed (equal seeds reproduce exactly)")
 		duration   = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
 		csvDir     = flag.String("csv", "", "directory to write figure series CSVs into")
@@ -83,8 +83,9 @@ func realMain() int {
 		"e8":  experiments.E8DataPlaneCost,
 		"e9":  experiments.E9LossReorder,
 		"e10": experiments.E10MeshOverlay,
+		"e11": experiments.E11Failover,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
 
 	var ids []string
 	if *run == "all" {

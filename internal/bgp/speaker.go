@@ -121,6 +121,18 @@ func (sp *Speaker) Originated(p addr.Prefix) (*Route, bool) {
 	return r, ok
 }
 
+// OriginatedPrefixes returns every locally originated prefix in a
+// deterministic (sorted) order, so seeded fault generators can pick
+// withdrawal targets reproducibly.
+func (sp *Speaker) OriginatedPrefixes() []addr.Prefix {
+	out := make([]addr.Prefix, 0, len(sp.originated))
+	for p := range sp.originated {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
 // handleUpdate applies a decoded UPDATE from a session.
 func (sp *Speaker) handleUpdate(s *Session, u *Update) {
 	for _, p := range u.Withdrawn {

@@ -1,0 +1,195 @@
+// Package chaos is a deterministic fault-injection engine for the
+// simulated Tango deployment. It schedules scripted or seeded-random
+// fault timelines — link flaps, loss bursts, delay shifts, BGP
+// withdrawals — on the same event loop the system under test runs on,
+// and checks registered invariants as the simulation advances.
+//
+// Everything is deterministic: faults fire at exact virtual instants,
+// random timelines are drawn from a caller-provided named RNG stream,
+// and the engine keeps an ordered event log so two runs with the same
+// seed can be compared byte for byte (see the replay test).
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tango/internal/bgp"
+	"tango/internal/sim"
+	"tango/internal/simnet"
+)
+
+// Entry is one line of the chaos event log.
+type Entry struct {
+	At  sim.Time
+	Msg string
+}
+
+// Violation records an invariant failure observed at a check instant.
+type Violation struct {
+	At        sim.Time
+	Invariant string
+	Err       string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%s %s: %s", v.At, v.Invariant, v.Err)
+}
+
+// Invariant is a property checked repeatedly while the simulation runs.
+// Check returns a non-nil error when the property is violated at now.
+type Invariant interface {
+	Name() string
+	Check(now sim.Time) error
+}
+
+type funcInvariant struct {
+	name string
+	fn   func(now sim.Time) error
+}
+
+func (f *funcInvariant) Name() string             { return f.name }
+func (f *funcInvariant) Check(now sim.Time) error { return f.fn(now) }
+
+// InvariantFunc wraps a closure as an Invariant.
+func InvariantFunc(name string, fn func(now sim.Time) error) Invariant {
+	return &funcInvariant{name: name, fn: fn}
+}
+
+// Engine drives fault timelines against named targets and watches
+// invariants. Targets are registered under stable names so event logs
+// and random target selection are reproducible across runs.
+type Engine struct {
+	eng      *sim.Engine
+	lines    map[string]*simnet.Line
+	speakers map[string]*bgp.Speaker
+
+	invs       []Invariant
+	tick       *sim.Ticker
+	log        []Entry
+	violations []Violation
+}
+
+// New creates a chaos engine on the simulation engine under test.
+func New(eng *sim.Engine) *Engine {
+	return &Engine{
+		eng:      eng,
+		lines:    make(map[string]*simnet.Line),
+		speakers: make(map[string]*bgp.Speaker),
+	}
+}
+
+// Sim returns the underlying simulation engine.
+func (e *Engine) Sim() *sim.Engine { return e.eng }
+
+// AddLine registers a line as a fault target under name.
+func (e *Engine) AddLine(name string, l *simnet.Line) { e.lines[name] = l }
+
+// AddSpeaker registers a BGP speaker as a withdrawal target under name.
+func (e *Engine) AddSpeaker(name string, sp *bgp.Speaker) { e.speakers[name] = sp }
+
+// Line returns the registered line, or nil.
+func (e *Engine) Line(name string) *simnet.Line { return e.lines[name] }
+
+// Speaker returns the registered speaker, or nil.
+func (e *Engine) Speaker(name string) *bgp.Speaker { return e.speakers[name] }
+
+// LineNames returns the registered line names, sorted.
+func (e *Engine) LineNames() []string {
+	out := make([]string, 0, len(e.lines))
+	for n := range e.lines {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SpeakerNames returns the registered speaker names, sorted.
+func (e *Engine) SpeakerNames() []string {
+	out := make([]string, 0, len(e.speakers))
+	for n := range e.speakers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch registers an invariant; it is checked on the cadence set by
+// StartChecks and by CheckNow.
+func (e *Engine) Watch(inv Invariant) { e.invs = append(e.invs, inv) }
+
+// Invariants returns how many invariants are registered.
+func (e *Engine) Invariants() int { return len(e.invs) }
+
+// Schedule arms a fault: Apply fires at the fault's start instant and,
+// for a finite window, the returned revert runs when the window closes.
+// Both transitions are logged.
+func (e *Engine) Schedule(f Fault) {
+	at, dur := f.Window()
+	e.eng.ScheduleAt(at, func() {
+		revert, err := f.Apply(e)
+		if err != nil {
+			e.logf("fault %s: %v", f.Label(), err)
+			return
+		}
+		e.logf("apply %s", f.Label())
+		if revert != nil && dur > 0 {
+			e.eng.Schedule(dur, func() {
+				revert()
+				e.logf("revert %s", f.Label())
+			})
+		}
+	})
+}
+
+// StartChecks begins checking every registered invariant on a fixed
+// cadence. Checks run as ordinary events, so they observe the network
+// only at event boundaries — never mid-packet.
+func (e *Engine) StartChecks(every time.Duration) {
+	if e.tick != nil {
+		e.tick.Stop()
+	}
+	e.tick = sim.NewTicker(e.eng, every, func(now sim.Time) { e.runChecks(now) })
+}
+
+// StopChecks halts the check cadence.
+func (e *Engine) StopChecks() {
+	if e.tick != nil {
+		e.tick.Stop()
+	}
+}
+
+// CheckNow runs every invariant once at the current instant.
+func (e *Engine) CheckNow() { e.runChecks(e.eng.Now()) }
+
+func (e *Engine) runChecks(now sim.Time) {
+	for _, inv := range e.invs {
+		if err := inv.Check(now); err != nil {
+			v := Violation{At: now, Invariant: inv.Name(), Err: err.Error()}
+			e.violations = append(e.violations, v)
+			e.logf("VIOLATION %s: %s", inv.Name(), err)
+		}
+	}
+}
+
+// Violations returns every invariant failure observed so far.
+func (e *Engine) Violations() []Violation { return e.violations }
+
+// Log returns the ordered event log.
+func (e *Engine) Log() []Entry { return e.log }
+
+// LogString renders the event log one entry per line — the byte-exact
+// artifact the determinism test compares across runs.
+func (e *Engine) LogString() string {
+	var b strings.Builder
+	for _, en := range e.log {
+		fmt.Fprintf(&b, "t=%s %s\n", en.At, en.Msg)
+	}
+	return b.String()
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	e.log = append(e.log, Entry{At: e.eng.Now(), Msg: fmt.Sprintf(format, args...)})
+}

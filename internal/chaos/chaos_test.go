@@ -1,0 +1,273 @@
+package chaos
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/bgp"
+	"tango/internal/control"
+	"tango/internal/dataplane"
+	"tango/internal/packet"
+	"tango/internal/sim"
+	"tango/internal/simnet"
+)
+
+// twoNodes builds a minimal network: a -- b with fixed 10 ms lines.
+func twoNodes(seed int64) (*simnet.Network, *simnet.Link) {
+	w := simnet.New(seed)
+	a := w.AddNode("a", 0)
+	b := w.AddNode("b", 0)
+	lk := w.Connect(a, b,
+		simnet.LinkConfig{Delay: simnet.FixedDelay(10 * time.Millisecond)},
+		simnet.LinkConfig{Delay: simnet.FixedDelay(10 * time.Millisecond)})
+	return w, lk
+}
+
+func TestLinkDownAppliesAndReverts(t *testing.T) {
+	w, lk := twoNodes(1)
+	ch := New(w.Eng)
+	ch.AddLine("ab", lk.LineAB())
+	ch.Schedule(LinkDown{Target: "ab", At: time.Second, For: 2 * time.Second})
+
+	var duringDown, afterUp bool
+	w.Eng.ScheduleAt(1500*time.Millisecond, func() { duringDown = lk.LineAB().Down() })
+	w.Eng.ScheduleAt(3500*time.Millisecond, func() { afterUp = !lk.LineAB().Down() })
+	w.Run(5 * time.Second)
+
+	if !duringDown || !afterUp {
+		t.Fatalf("down timeline wrong: during=%v after-up=%v", duringDown, afterUp)
+	}
+	log := ch.LogString()
+	want := "t=1s apply link-down ab\nt=3s revert link-down ab\n"
+	if log != want {
+		t.Fatalf("log:\n%q\nwant:\n%q", log, want)
+	}
+}
+
+func TestLossBurstAndDelayFaultsRestoreState(t *testing.T) {
+	w, lk := twoNodes(1)
+	ln := lk.LineAB()
+	ln.SetLoss(0.01)
+	baseModel := ln.Shaper().Base()
+	ch := New(w.Eng)
+	ch.AddLine("ab", ln)
+
+	ch.Schedule(LossBurst{Target: "ab", At: time.Second, For: time.Second, Loss: 0.5})
+	ch.Schedule(DelayShift{Target: "ab", At: time.Second, For: time.Second, Delta: 5 * time.Millisecond})
+	ch.Schedule(DelaySwap{Target: "ab", At: time.Second, For: time.Second,
+		Model: simnet.FixedDelay(99 * time.Millisecond)})
+
+	w.Eng.ScheduleAt(1500*time.Millisecond, func() {
+		if ln.Loss() != 0.5 {
+			t.Errorf("loss during burst = %v, want 0.5", ln.Loss())
+		}
+		if ln.Shaper().Offset() != 5*time.Millisecond {
+			t.Errorf("offset during shift = %v, want 5ms", ln.Shaper().Offset())
+		}
+		if ln.Shaper().Base() != simnet.DelayModel(simnet.FixedDelay(99*time.Millisecond)) {
+			t.Errorf("base during swap = %v", ln.Shaper().Base())
+		}
+	})
+	w.Run(3 * time.Second)
+
+	if ln.Loss() != 0.01 {
+		t.Fatalf("loss after revert = %v, want 0.01", ln.Loss())
+	}
+	if ln.Shaper().Offset() != 0 {
+		t.Fatalf("offset after revert = %v, want 0", ln.Shaper().Offset())
+	}
+	if ln.Shaper().Base() != baseModel {
+		t.Fatalf("base after revert = %v, want original", ln.Shaper().Base())
+	}
+}
+
+func TestWithdrawalFaultReannouncesIdentically(t *testing.T) {
+	eng := sim.NewEngine()
+	sp := bgp.NewSpeaker(eng, "edge", 65000, 1)
+	pfx := addr.MustParsePrefix("2001:db8:100::/48")
+	sp.OriginateWithPath(pfx, bgp.Path{65099}, bgp.Community(4242))
+
+	ch := New(eng)
+	ch.AddSpeaker("edge", sp)
+	ch.Schedule(Withdrawal{Speaker: "edge", Prefix: pfx, At: time.Second, For: time.Second})
+
+	var goneDuring bool
+	eng.ScheduleAt(1500*time.Millisecond, func() {
+		_, ok := sp.Originated(pfx)
+		goneDuring = !ok
+	})
+	eng.Run(3 * time.Second)
+
+	if !goneDuring {
+		t.Fatal("prefix still originated during the withdrawal window")
+	}
+	r, ok := sp.Originated(pfx)
+	if !ok {
+		t.Fatal("prefix not re-announced after the window")
+	}
+	if len(r.Path) != 1 || r.Path[0] != 65099 {
+		t.Fatalf("re-announced path = %v, want [65099]", r.Path)
+	}
+	if len(r.Communities) != 1 || r.Communities[0] != 4242 {
+		t.Fatalf("re-announced communities = %v, want [4242]", r.Communities)
+	}
+}
+
+func TestFaultOnUnknownTargetIsLoggedNotFatal(t *testing.T) {
+	w, _ := twoNodes(1)
+	ch := New(w.Eng)
+	ch.Schedule(LinkDown{Target: "nope", At: time.Second, For: time.Second})
+	w.Run(2 * time.Second)
+	if !strings.Contains(ch.LogString(), `fault link-down nope: no line "nope"`) {
+		t.Fatalf("missing error entry in log: %q", ch.LogString())
+	}
+}
+
+func TestConservationAndBufferBalanceOnLiveTraffic(t *testing.T) {
+	w, lk := twoNodes(1)
+	a := w.Node("a")
+	b := w.Node("b")
+	dst := netip.MustParseAddr("2001:db8::b")
+	b.AddAddr(dst)
+	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
+	b.SetHandler(func(*simnet.Port, []byte) {})
+
+	pkt := mkPkt(t, "2001:db8::a", "2001:db8::b")
+	sim.NewTicker(w.Eng, 5*time.Millisecond, func(sim.Time) { a.Inject(pkt) })
+
+	ch := New(w.Eng)
+	ch.AddLine("ab", lk.LineAB())
+	ch.Watch(Conservation("w", w))
+	ch.Watch(BufferBalance("w", w))
+	ch.StartChecks(20 * time.Millisecond)
+	// Faults stress the accounting: admin drops and loss must balance.
+	ch.Schedule(LinkDown{Target: "ab", At: 100 * time.Millisecond, For: 200 * time.Millisecond})
+	ch.Schedule(LossBurst{Target: "ab", At: 500 * time.Millisecond, For: 200 * time.Millisecond, Loss: 0.5})
+	w.Run(time.Second)
+
+	if vs := ch.Violations(); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+	if lk.LineAB().Stats.Lost == 0 {
+		t.Fatal("loss burst lost nothing; test exercised too little")
+	}
+}
+
+func TestConservationDetectsCookedBooks(t *testing.T) {
+	w, _ := twoNodes(1)
+	ch := New(w.Eng)
+	ch.Watch(Conservation("w", w))
+	ch.CheckNow()
+	if len(ch.Violations()) != 0 {
+		t.Fatalf("clean network flagged: %v", ch.Violations())
+	}
+	// A packet claimed as originated but never accounted for anywhere.
+	w.Node("a").Stats.Sent++
+	ch.CheckNow()
+	vs := ch.Violations()
+	if len(vs) != 1 || !strings.Contains(vs[0].Err, "node a") {
+		t.Fatalf("cooked books not flagged: %v", vs)
+	}
+}
+
+func TestPathEvacuationFlagsStubbornController(t *testing.T) {
+	w, lk := twoNodes(1)
+	a := w.Node("a")
+	sw := dataplane.NewSwitch(a)
+	sw.AddTunnel(&dataplane.Tunnel{
+		PathID:     1,
+		Name:       "only",
+		LocalAddr:  netip.MustParseAddr("2001:db8::a"),
+		RemoteAddr: netip.MustParseAddr("2001:db8::b"),
+		SrcPort:    41000,
+	})
+	// Static never evacuates — exactly the misbehaviour the invariant
+	// exists to catch once the line has been down past the grace.
+	ctrl := control.NewController(w.Eng, sw, &control.Static{ID: 1})
+
+	ch := New(w.Eng)
+	lineFor := map[uint8]*simnet.Line{1: lk.LineAB()}
+	ch.Watch(PathEvacuation("a->b", ctrl, lineFor, 2*time.Second))
+	ch.StartChecks(500 * time.Millisecond)
+	ch.Schedule(LinkDown{Target: "ab", At: time.Second, For: 10 * time.Second})
+	ch.AddLine("ab", lk.LineAB())
+	w.Run(6 * time.Second)
+
+	vs := ch.Violations()
+	if len(vs) == 0 {
+		t.Fatal("stubborn controller not flagged")
+	}
+	if !strings.Contains(vs[0].Err, "path 1 still current") {
+		t.Fatalf("wrong violation: %v", vs[0])
+	}
+}
+
+func TestNoDataOnDeadPathExemptsProbes(t *testing.T) {
+	w, lk := twoNodes(1)
+	sw := dataplane.NewSwitch(w.Node("a"))
+	tun := &dataplane.Tunnel{
+		PathID:     1,
+		Name:       "only",
+		LocalAddr:  netip.MustParseAddr("2001:db8::a"),
+		RemoteAddr: netip.MustParseAddr("2001:db8::b"),
+		SrcPort:    41000,
+	}
+	sw.AddTunnel(tun)
+
+	ch := New(w.Eng)
+	ch.AddLine("ab", lk.LineAB())
+	ch.Watch(NoDataOnDeadPath("a->b", sw, map[uint8]*simnet.Line{1: lk.LineAB()}, time.Second))
+	ch.StartChecks(250 * time.Millisecond)
+	ch.Schedule(LinkDown{Target: "ab", At: 0, For: 20 * time.Second})
+
+	// Probes on the dead path are fine (recovery detection needs them).
+	w.Eng.ScheduleAt(3*time.Second, func() {
+		tun.Stats.Sent += 10
+		tun.Stats.ProbeSent += 10
+	})
+	w.Run(4 * time.Second)
+	if vs := ch.Violations(); len(vs) != 0 {
+		t.Fatalf("probes flagged as data: %v", vs)
+	}
+
+	// Data steered onto the dead path past the grace is the violation.
+	w.Eng.ScheduleAt(5*time.Second, func() { tun.Stats.Sent += 3 })
+	w.Run(6 * time.Second)
+	vs := ch.Violations()
+	if len(vs) == 0 {
+		t.Fatal("data on dead path not flagged")
+	}
+	if !strings.Contains(vs[0].Err, "carried 3 data packets") {
+		t.Fatalf("wrong violation: %v", vs[0])
+	}
+}
+
+// testingT is the slice of *testing.T mkPkt needs, so the determinism
+// test can call it outside a test callback.
+type testingT interface {
+	Helper()
+	Fatal(args ...any)
+}
+
+// mkPkt builds a minimal IPv6/UDP packet.
+func mkPkt(t testingT, src, dst string) []byte {
+	t.Helper()
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload([]byte("chaos-test"))
+	udp := &packet.UDP{SrcPort: 1, DstPort: 2}
+	ip := &packet.IPv6{
+		NextHeader: packet.ProtoUDP,
+		HopLimit:   64,
+		Src:        netip.MustParseAddr(src),
+		Dst:        netip.MustParseAddr(dst),
+	}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}

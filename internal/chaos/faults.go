@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/bgp"
+	"tango/internal/sim"
+	"tango/internal/simnet"
+)
+
+// Fault is one scheduled failure: Apply makes it happen and returns the
+// undo for when the window closes (nil for one-way faults). Window is
+// the absolute virtual start and the duration; a zero duration means
+// the fault never reverts.
+type Fault interface {
+	Label() string
+	Window() (at sim.Time, dur time.Duration)
+	Apply(e *Engine) (revert func(), err error)
+}
+
+// LinkDown takes a registered line administratively down for a window.
+// Packets already in flight still arrive (admission semantics, see
+// DESIGN.md); everything sent while down is dropped at the line.
+type LinkDown struct {
+	Target string
+	At     sim.Time
+	For    time.Duration
+}
+
+// Label implements Fault.
+func (f LinkDown) Label() string { return "link-down " + f.Target }
+
+// Window implements Fault.
+func (f LinkDown) Window() (sim.Time, time.Duration) { return f.At, f.For }
+
+// Apply implements Fault.
+func (f LinkDown) Apply(e *Engine) (func(), error) {
+	ln := e.lines[f.Target]
+	if ln == nil {
+		return nil, fmt.Errorf("no line %q", f.Target)
+	}
+	ln.SetDown(true)
+	return func() { ln.SetDown(false) }, nil
+}
+
+// LossBurst sets a line's loss probability for a window, restoring the
+// previous probability afterwards.
+type LossBurst struct {
+	Target string
+	At     sim.Time
+	For    time.Duration
+	Loss   float64
+}
+
+// Label implements Fault.
+func (f LossBurst) Label() string { return fmt.Sprintf("loss-burst %s p=%g", f.Target, f.Loss) }
+
+// Window implements Fault.
+func (f LossBurst) Window() (sim.Time, time.Duration) { return f.At, f.For }
+
+// Apply implements Fault.
+func (f LossBurst) Apply(e *Engine) (func(), error) {
+	ln := e.lines[f.Target]
+	if ln == nil {
+		return nil, fmt.Errorf("no line %q", f.Target)
+	}
+	prev := ln.Loss()
+	ln.SetLoss(f.Loss)
+	return func() { ln.SetLoss(prev) }, nil
+}
+
+// DelayShift adds Delta to a line's delay offset for a window — the
+// paper's intra-provider reroute that lengthens the physical path —
+// restoring the offset captured at apply time afterwards.
+type DelayShift struct {
+	Target string
+	At     sim.Time
+	For    time.Duration
+	Delta  time.Duration
+}
+
+// Label implements Fault.
+func (f DelayShift) Label() string { return fmt.Sprintf("delay-shift %s +%s", f.Target, f.Delta) }
+
+// Window implements Fault.
+func (f DelayShift) Window() (sim.Time, time.Duration) { return f.At, f.For }
+
+// Apply implements Fault.
+func (f DelayShift) Apply(e *Engine) (func(), error) {
+	ln := e.lines[f.Target]
+	if ln == nil {
+		return nil, fmt.Errorf("no line %q", f.Target)
+	}
+	sh := ln.Shaper()
+	prev := sh.Offset()
+	sh.SetOffset(prev + f.Delta)
+	return func() { sh.SetOffset(prev) }, nil
+}
+
+// DelaySwap replaces a line's base delay model for a window (e.g. a
+// Gaussian floor swapped for a spiky instability model), restoring the
+// previous model afterwards.
+type DelaySwap struct {
+	Target string
+	At     sim.Time
+	For    time.Duration
+	Model  simnet.DelayModel
+}
+
+// Label implements Fault.
+func (f DelaySwap) Label() string { return "delay-swap " + f.Target }
+
+// Window implements Fault.
+func (f DelaySwap) Window() (sim.Time, time.Duration) { return f.At, f.For }
+
+// Apply implements Fault.
+func (f DelaySwap) Apply(e *Engine) (func(), error) {
+	ln := e.lines[f.Target]
+	if ln == nil {
+		return nil, fmt.Errorf("no line %q", f.Target)
+	}
+	sh := ln.Shaper()
+	old := sh.SwapBase(f.Model)
+	return func() { sh.SwapBase(old) }, nil
+}
+
+// Withdrawal withdraws a locally originated prefix from a registered
+// speaker for a window, then re-announces it with the same seeded path
+// and communities — a tunnel endpoint vanishing from, and returning to,
+// the global routing table.
+type Withdrawal struct {
+	Speaker string
+	Prefix  addr.Prefix
+	At      sim.Time
+	For     time.Duration
+}
+
+// Label implements Fault.
+func (f Withdrawal) Label() string { return fmt.Sprintf("withdraw %s %s", f.Speaker, f.Prefix) }
+
+// Window implements Fault.
+func (f Withdrawal) Window() (sim.Time, time.Duration) { return f.At, f.For }
+
+// Apply implements Fault.
+func (f Withdrawal) Apply(e *Engine) (func(), error) {
+	sp := e.speakers[f.Speaker]
+	if sp == nil {
+		return nil, fmt.Errorf("no speaker %q", f.Speaker)
+	}
+	r, ok := sp.Originated(f.Prefix)
+	if !ok {
+		return nil, fmt.Errorf("%s does not originate %s", f.Speaker, f.Prefix)
+	}
+	// The originated route is about to be deleted; keep what the
+	// re-announcement needs.
+	path := r.Path.Clone()
+	comms := append([]bgp.Community(nil), r.Communities...)
+	sp.Withdraw(f.Prefix)
+	return func() { sp.OriginateWithPath(f.Prefix, path, comms...) }, nil
+}
+
+// StormConfig shapes a seeded-random fault timeline.
+type StormConfig struct {
+	// Faults is how many faults to draw.
+	Faults int
+	// Start is the absolute virtual time of the storm window's open.
+	Start sim.Time
+	// Window spreads fault start times uniformly over [Start, Start+Window).
+	Window time.Duration
+	// MaxFor caps each fault's duration; durations are drawn uniformly
+	// from (0, MaxFor]. Default 30 s.
+	MaxFor time.Duration
+	// Loss is the loss-burst probability (default 0.3).
+	Loss float64
+	// Shift is the delay-shift delta (default 5 ms, the paper's E4 shift).
+	Shift time.Duration
+}
+
+// ScheduleStorm draws cfg.Faults faults from rng over the registered
+// targets and schedules them all, returning their labels in schedule
+// order. The draw consumes rng deterministically: same engine contents,
+// same rng state, same storm. Withdrawal faults target originated
+// prefixes of registered speakers; if there are none, those draws fall
+// back to link faults.
+func (e *Engine) ScheduleStorm(rng *sim.RNG, cfg StormConfig) []string {
+	if cfg.MaxFor <= 0 {
+		cfg.MaxFor = 30 * time.Second
+	}
+	if cfg.Loss <= 0 {
+		cfg.Loss = 0.3
+	}
+	if cfg.Shift <= 0 {
+		cfg.Shift = 5 * time.Millisecond
+	}
+	lines := e.LineNames()
+	type target struct {
+		speaker string
+		prefix  addr.Prefix
+	}
+	var withdrawable []target
+	for _, name := range e.SpeakerNames() {
+		for _, p := range e.speakers[name].OriginatedPrefixes() {
+			withdrawable = append(withdrawable, target{name, p})
+		}
+	}
+	var labels []string
+	for i := 0; i < cfg.Faults; i++ {
+		at := cfg.Start + sim.Time(rng.Int63n(int64(cfg.Window)+1))
+		dur := time.Duration(1 + rng.Int63n(int64(cfg.MaxFor)))
+		kind := rng.Intn(4)
+		if kind == 3 && len(withdrawable) == 0 {
+			kind = rng.Intn(3)
+		}
+		if kind != 3 && len(lines) == 0 {
+			continue
+		}
+		var f Fault
+		switch kind {
+		case 0:
+			f = LinkDown{Target: lines[rng.Intn(len(lines))], At: at, For: dur}
+		case 1:
+			f = LossBurst{Target: lines[rng.Intn(len(lines))], At: at, For: dur, Loss: cfg.Loss}
+		case 2:
+			f = DelayShift{Target: lines[rng.Intn(len(lines))], At: at, For: dur, Delta: cfg.Shift}
+		case 3:
+			t := withdrawable[rng.Intn(len(withdrawable))]
+			f = Withdrawal{Speaker: t.speaker, Prefix: t.prefix, At: at, For: dur}
+		}
+		e.Schedule(f)
+		labels = append(labels, f.Label())
+	}
+	return labels
+}

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"sort"
 	"time"
 
 	"tango/internal/dataplane"
@@ -155,10 +156,11 @@ type Controller struct {
 	policy Policy
 	eng    *sim.Engine
 
-	ests    map[uint8]*PathEstimate
-	current uint8
-	haveCur bool
-	tick    *sim.Ticker
+	ests       map[uint8]*PathEstimate
+	current    uint8
+	haveCur    bool
+	lastSwitch sim.Time
+	tick       *sim.Ticker
 
 	// OnSwitch fires when the controller moves traffic between paths.
 	OnSwitch func(at sim.Time, from, to uint8)
@@ -233,6 +235,26 @@ func (c *Controller) UpdateEstimate(id uint8, owdMs, jitterMs float64, samples u
 	c.Stats.Reports++
 }
 
+// Estimates returns a snapshot of every known path estimate, sorted by
+// path ID. The decision loop feeds this to the policy (map iteration
+// order must never leak into a tie-break), and chaos invariant checkers
+// read it to judge convergence.
+func (c *Controller) Estimates() []PathEstimate {
+	ests := make([]PathEstimate, 0, len(c.ests))
+	for _, e := range c.ests {
+		ests = append(ests, *e)
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i].ID < ests[j].ID })
+	return ests
+}
+
+// LastSwitch returns when the controller last moved traffic and whether
+// it has ever switched — the convergence signal failover experiments
+// time against.
+func (c *Controller) LastSwitch() (at sim.Time, switched bool) {
+	return c.lastSwitch, c.Stats.Switches > 0
+}
+
 // Start begins the decision loop with the given cadence.
 func (c *Controller) Start(every time.Duration) {
 	if c.tick != nil {
@@ -250,10 +272,7 @@ func (c *Controller) Stop() {
 
 func (c *Controller) decide(now sim.Time) {
 	c.Stats.Decisions++
-	ests := make([]PathEstimate, 0, len(c.ests))
-	for _, e := range c.ests {
-		ests = append(ests, *e)
-	}
+	ests := c.Estimates()
 	cur := c.Current()
 	next := c.policy.Choose(now, cur, ests)
 	if _, ok := c.sw.Tunnel(next); !ok {
@@ -265,6 +284,7 @@ func (c *Controller) decide(now sim.Time) {
 		c.haveCur = true
 		if next != from {
 			c.Stats.Switches++
+			c.lastSwitch = now
 			if c.OnSwitch != nil {
 				c.OnSwitch(now, from, next)
 			}

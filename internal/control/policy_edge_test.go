@@ -1,0 +1,116 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/sim"
+)
+
+// TestMinOWDEdgeCases pins the exact boundary semantics of MinOWD.Choose.
+// Each case is a sequence of decisions against one policy instance, since
+// dwell behaviour depends on the previous switch.
+func TestMinOWDEdgeCases(t *testing.T) {
+	type step struct {
+		now  sim.Time
+		cur  uint8
+		ests []PathEstimate
+		want uint8
+	}
+	cases := []struct {
+		name   string
+		policy MinOWD
+		steps  []step
+	}{
+		{
+			// Every estimate aged out: no candidate at all, hold the
+			// current path rather than oscillating onto a guess.
+			name:   "all stale holds current",
+			policy: MinOWD{HysteresisMs: 0.5, StaleAfter: 2 * time.Second},
+			steps: []step{
+				{now: 10 * time.Second, cur: 1, want: 1, ests: []PathEstimate{
+					est(1, 30, 0), est(2, 20, time.Second),
+				}},
+			},
+		},
+		{
+			// An estimate exactly StaleAfter old is still usable: the
+			// staleness test is strictly greater-than.
+			name:   "estimate at exact stale boundary still counts",
+			policy: MinOWD{HysteresisMs: 0.5, StaleAfter: 2 * time.Second},
+			steps: []step{
+				{now: 10 * time.Second, cur: 1, want: 2, ests: []PathEstimate{
+					est(1, 30, 10*time.Second), est(2, 20, 8*time.Second),
+				}},
+			},
+		},
+		{
+			// A gain of exactly the hysteresis margin switches: the
+			// comparison is inclusive (bestOWD <= cur - hysteresis).
+			name:   "tie at exact hysteresis margin switches",
+			policy: MinOWD{HysteresisMs: 2.0},
+			steps: []step{
+				{now: time.Second, cur: 1, want: 2, ests: []PathEstimate{
+					est(1, 30, time.Second), est(2, 28, time.Second),
+				}},
+			},
+		},
+		{
+			// A hair under the margin stays put.
+			name:   "just under hysteresis margin holds",
+			policy: MinOWD{HysteresisMs: 2.0},
+			steps: []step{
+				{now: time.Second, cur: 1, want: 1, ests: []PathEstimate{
+					est(1, 30, time.Second), est(2, 28.001, time.Second),
+				}},
+			},
+		},
+		{
+			// Dwell expires on the very tick it is measured: the guard is
+			// now-lastSwitch < MinDwell, so a decision at exactly
+			// lastSwitch+MinDwell may switch.
+			name:   "dwell expiring same tick allows switch",
+			policy: MinOWD{HysteresisMs: 0.5, MinDwell: 5 * time.Second},
+			steps: []step{
+				{now: time.Second, cur: 1, want: 2, ests: []PathEstimate{
+					est(1, 30, time.Second), est(2, 20, time.Second),
+				}},
+				// One tick before expiry: held.
+				{now: 6*time.Second - time.Millisecond, cur: 2, want: 2, ests: []PathEstimate{
+					est(1, 10, 5*time.Second), est(2, 20, 5*time.Second),
+				}},
+				// Exactly at expiry: free to move.
+				{now: 6 * time.Second, cur: 2, want: 1, ests: []PathEstimate{
+					est(1, 10, 6*time.Second), est(2, 20, 6*time.Second),
+				}},
+			},
+		},
+		{
+			// The current path's estimate is marked invalid (e.g. its
+			// tunnel vanished): evacuate immediately, even mid-dwell and
+			// even for a sub-hysteresis gain.
+			name:   "current invalid moves immediately despite dwell",
+			policy: MinOWD{HysteresisMs: 5, MinDwell: time.Minute},
+			steps: []step{
+				{now: time.Second, cur: 1, want: 2, ests: []PathEstimate{
+					est(1, 30, time.Second), est(2, 20, time.Second),
+				}},
+				{now: 2 * time.Second, cur: 2, want: 1, ests: []PathEstimate{
+					est(1, 19.9, 2*time.Second),
+					{ID: 2, OWDMs: 20, UpdatedAt: 2 * time.Second, Valid: false},
+				}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.policy
+			for i, s := range tc.steps {
+				if got := p.Choose(s.now, s.cur, s.ests); got != s.want {
+					t.Fatalf("step %d: Choose(now=%s, cur=%d) = %d, want %d",
+						i, s.now, s.cur, got, s.want)
+				}
+			}
+		})
+	}
+}

@@ -113,6 +113,18 @@ func (s *Site) PathName(id uint8) string {
 	return s.OutPaths[i].ProviderName
 }
 
+// PinnedPrefix returns the /48 this site originated for one of its
+// *incoming* paths (the peer's outgoing path id). Fault injectors
+// withdraw it to simulate the path's tunnel endpoint vanishing from the
+// global routing table.
+func (s *Site) PinnedPrefix(id uint8) (addr.Prefix, error) {
+	i := int(id) - 1
+	if i < 0 || i >= len(s.Endpoints) {
+		return addr.Prefix{}, fmt.Errorf("core: site %s has no incoming path %d", s.Spec.Name, id)
+	}
+	return s.Spec.Block.Subnet(48, i)
+}
+
 // Peer returns the other site.
 func (s *Site) Peer() *Site { return s.peer }
 

@@ -48,8 +48,18 @@ type Tunnel struct {
 
 	Stats struct {
 		Sent uint64
+		// ProbeSent counts the subset of Sent injected via SendOnTunnel
+		// (measurement probes). Sent - ProbeSent is therefore the data
+		// traffic steered here by the selector — the quantity chaos
+		// invariants watch on a dead path, where probing must continue
+		// but data must not.
+		ProbeSent uint64
 	}
 }
+
+// DataSent returns the number of selector-steered (non-probe) packets
+// sent on this tunnel.
+func (t *Tunnel) DataSent() uint64 { return t.Stats.Sent - t.Stats.ProbeSent }
 
 // nextSeq returns the tunnel's next sequence number.
 func (t *Tunnel) nextSeq() uint32 {
@@ -277,7 +287,11 @@ func (s *Switch) SendToPeer(inner []byte) {
 // selector. The measurement prober uses it to exercise every exposed
 // path at a fixed rate regardless of where data traffic currently flows.
 func (s *Switch) SendOnTunnel(tun *Tunnel, inner []byte) {
+	before := tun.Stats.Sent
 	s.encapOn(tun, inner, 0)
+	// Only count the probe if the encap actually went out (encapOn can
+	// drop on a serialization failure without touching Sent).
+	tun.Stats.ProbeSent += tun.Stats.Sent - before
 }
 
 // handle is the node's local-delivery hook: every packet addressed to one

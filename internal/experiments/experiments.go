@@ -151,6 +151,7 @@ func All(cfg Config) []*Result {
 		E8DataPlaneCost(cfg),
 		E9LossReorder(cfg),
 		E10MeshOverlay(cfg),
+		E11Failover(cfg),
 	}
 }
 

@@ -110,5 +110,14 @@ func (s *Shaper) Offset() time.Duration { return s.offset }
 // SetOverlay replaces the base model until cleared (nil restores base).
 func (s *Shaper) SetOverlay(m DelayModel) { s.overlay = m }
 
+// SwapBase replaces the base model permanently and returns the previous
+// one, so a fault injector can restore it when the fault reverts. Unlike
+// SetOverlay it composes with an overlay already in place.
+func (s *Shaper) SwapBase(m DelayModel) DelayModel {
+	old := s.base
+	s.base = m
+	return old
+}
+
 // Base returns the wrapped base model.
 func (s *Shaper) Base() DelayModel { return s.base }

@@ -34,6 +34,12 @@ type Line struct {
 	rngDelay *sim.RNG
 	rngLoss  *sim.RNG
 
+	// OnAdminChange, when non-nil, fires on every SetDown transition
+	// (fault injectors observe flaps without polling). OnLossChange fires
+	// on every SetLoss with old and new probability.
+	OnAdminChange func(down bool)
+	OnLossChange  func(old, new float64)
+
 	Stats LineStats
 }
 
@@ -41,17 +47,37 @@ type Line struct {
 // events use it to inject incidents.
 func (l *Line) Shaper() *Shaper { return l.shaper }
 
-// SetLoss sets the per-packet loss probability.
-func (l *Line) SetLoss(p float64) { l.lossProb = p }
+// SetLoss sets the per-packet loss probability. Loss is sampled at send
+// time: packets already in flight keep the fate they drew when sent.
+func (l *Line) SetLoss(p float64) {
+	old := l.lossProb
+	l.lossProb = p
+	if l.OnLossChange != nil && old != p {
+		l.OnLossChange(old, p)
+	}
+}
 
 // Loss returns the per-packet loss probability.
 func (l *Line) Loss() float64 { return l.lossProb }
 
-// SetDown sets the administrative state; a down line drops everything.
-func (l *Line) SetDown(down bool) { l.down = down }
+// SetDown sets the administrative state; a down line drops everything
+// subsequently sent on it. Packets whose delivery events were already
+// scheduled still arrive: admin state gates admission, not propagation.
+func (l *Line) SetDown(down bool) {
+	old := l.down
+	l.down = down
+	if l.OnAdminChange != nil && old != down {
+		l.OnAdminChange(down)
+	}
+}
 
 // Down reports the administrative state.
 func (l *Line) Down() bool { return l.down }
+
+// InFlight returns the number of packets sent but not yet received:
+// Tx counts admitted packets, of which Lost were dropped by the loss
+// process at send time and Rx have arrived.
+func (l *Line) InFlight() uint64 { return l.Stats.Tx - l.Stats.Lost - l.Stats.Rx }
 
 // send moves a packet across this direction of the link. It takes
 // ownership of pb: a dropped or lost packet is released here, a
@@ -66,6 +92,15 @@ func (l *Line) send(pb *packet.Buf) {
 		return
 	}
 	size := pb.Len()
+	now := eng.Now()
+	// Admission control runs before any counter moves so that Tx counts
+	// only admitted packets and Tx == Lost + Rx + InFlight holds exactly
+	// (the chaos conservation invariant depends on it).
+	if l.bandwidthBps > 0 && l.queueLimit > 0 && l.busyUntil > now && l.queued >= l.queueLimit {
+		l.Stats.Dropped++
+		pb.Release()
+		return
+	}
 	l.Stats.Tx++
 	l.Stats.Bytes += uint64(size)
 	if l.rngLoss.Bernoulli(l.lossProb) {
@@ -74,16 +109,10 @@ func (l *Line) send(pb *packet.Buf) {
 		return
 	}
 	var txDone sim.Time
-	now := eng.Now()
 	if l.bandwidthBps > 0 {
 		ser := time.Duration(float64(size) * 8 / l.bandwidthBps * float64(time.Second))
 		start := now
 		if l.busyUntil > start {
-			if l.queueLimit > 0 && l.queued >= l.queueLimit {
-				l.Stats.Dropped++
-				pb.Release()
-				return
-			}
 			start = l.busyUntil
 		}
 		l.busyUntil = start + ser

@@ -75,6 +75,7 @@ type Mesh struct {
 	mesh     *core.Mesh
 	opts     MeshOptions
 	nameFor  func(bgp.ASN) string
+	chaos    *Chaos
 	buildErr error
 }
 
