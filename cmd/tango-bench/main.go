@@ -1,16 +1,27 @@
 // Command tango-bench is the perf-regression harness's CLI face: it runs
-// the dataplane micro-benchmarks (encap, decap, link traversal) through
-// testing.Benchmark, optionally times the full E2/E10 experiment
-// reproductions, and emits the results as machine-readable JSON for CI
-// to archive and diff across commits.
+// the dataplane micro-benchmarks (encap, decap, link traversal) and the
+// scheduler micro-benchmarks (timing wheel vs. the preserved binary-heap
+// reference, at 10k pending events) through testing.Benchmark, optionally
+// times the full E2/E10 experiment reproductions and the whole suite
+// serial-vs-parallel, and emits the results as machine-readable JSON for
+// CI to archive and diff across commits.
 //
 // Usage:
 //
-//	tango-bench [-out BENCH.json] [-full] [-check]
+//	tango-bench [-out BENCH.json] [-full] [-check] [-parallel N]
+//	            [-history BENCH_HISTORY.json] [-compare FILE] [-tolerance 0.20]
 //
-// -check exits non-zero if any micro-benchmark allocates in steady
-// state, making the zero-allocation invariant enforceable outside `go
-// test` (CI runs `tango-bench -check` as its bench smoke job).
+// -check exits non-zero if any micro-benchmark allocates in steady state
+// or if the timing wheel loses its margin over the reference heap on the
+// schedule+fire micro, making both perf invariants enforceable outside
+// `go test` (CI runs `tango-bench -check` as its bench smoke job).
+//
+// -history appends this run (git SHA, timestamp, full report) to a JSON
+// log so numbers accumulate across commits; pass -history ” to skip.
+// -compare FILE diffs the run against a baseline report and exits
+// non-zero on a >tolerance ns/op regression, any allocs/op increase, or
+// a >2×tolerance experiment wall-clock regression (wall clocks are
+// noisier than micros, so they get the wider band).
 package main
 
 import (
@@ -18,6 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -43,12 +57,35 @@ type ExperimentResult struct {
 	ChecksPass  bool    `json:"checks_pass"`
 }
 
+// SuiteResult compares the full experiment suite run serially against the
+// same suite on a worker pool (one simulation engine per goroutine).
+type SuiteResult struct {
+	Experiments int     `json:"experiments"`
+	Workers     int     `json:"workers"`
+	SerialMs    float64 `json:"serial_ms"`
+	ParallelMs  float64 `json:"parallel_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
 // Report is the BENCH.json schema.
 type Report struct {
 	GoVersion   string             `json:"go_version,omitempty"`
 	Micro       []MicroResult      `json:"micro"`
 	Experiments []ExperimentResult `json:"experiments,omitempty"`
+	Suite       *SuiteResult       `json:"suite,omitempty"`
 }
+
+// HistoryEntry is one record in the BENCH_HISTORY.json append log.
+type HistoryEntry struct {
+	SHA    string `json:"sha"`
+	Time   string `json:"time"`
+	Report Report `json:"report"`
+}
+
+// wheelHeapMargin is the acceptance bar -check enforces: the wheel's
+// schedule+fire must cost at most this fraction of the heap's on the same
+// machine, keeping the comparison meaningful across hardware.
+const wheelHeapMargin = 0.75
 
 func main() {
 	os.Exit(realMain())
@@ -56,9 +93,13 @@ func main() {
 
 func realMain() int {
 	var (
-		out   = flag.String("out", "BENCH.json", "file to write results to ('-' for stdout)")
-		full  = flag.Bool("full", false, "also time the full E2/E10 experiment reproductions")
-		check = flag.Bool("check", false, "exit non-zero if any micro-benchmark allocates per op")
+		out       = flag.String("out", "BENCH.json", "file to write results to ('-' for stdout)")
+		full      = flag.Bool("full", false, "also time the full E2/E10 experiment reproductions")
+		check     = flag.Bool("check", false, "exit non-zero on per-op allocations or a lost wheel-vs-heap margin")
+		parallel  = flag.Int("parallel", 0, "also time the full suite serial vs. N workers (0 = skip)")
+		history   = flag.String("history", "BENCH_HISTORY.json", "append (sha, time, report) to this JSON log ('' = skip)")
+		compare   = flag.String("compare", "", "baseline report to diff against; regressions exit non-zero")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression for -compare")
 	)
 	flag.Parse()
 
@@ -69,9 +110,13 @@ func realMain() int {
 		{"Encap", perf.BenchEncap},
 		{"Decap", perf.BenchDecap},
 		{"LinkTraverse", perf.BenchLinkTraverse},
+		{"SchedFire10k", perf.BenchSchedFire},
+		{"SchedFire10kHeap", perf.BenchSchedFireHeap},
+		{"Cancel10k", perf.BenchCancel},
+		{"Cancel10kHeap", perf.BenchCancelHeap},
 	}
 
-	rep := Report{}
+	rep := Report{GoVersion: runtime.Version()}
 	regressed := false
 	for _, m := range micro {
 		res := testing.Benchmark(m.fn)
@@ -86,9 +131,18 @@ func realMain() int {
 			mr.MBPerSec = float64(res.Bytes*int64(res.N)) / 1e6 / res.T.Seconds()
 		}
 		rep.Micro = append(rep.Micro, mr)
-		fmt.Printf("%-14s %12.1f ns/op %8d allocs/op %8d B/op\n",
+		fmt.Printf("%-16s %12.1f ns/op %8d allocs/op %8d B/op\n",
 			m.name, mr.NsPerOp, mr.AllocsPerOp, mr.BytesPerOp)
 		if mr.AllocsPerOp != 0 {
+			regressed = true
+		}
+	}
+	if wheel, heap := findMicro(rep.Micro, "SchedFire10k"), findMicro(rep.Micro, "SchedFire10kHeap"); wheel != nil && heap != nil {
+		fmt.Printf("%-16s %12.2fx heap schedule+fire cost (bar: <= %.2fx)\n",
+			"wheel/heap", wheel.NsPerOp/heap.NsPerOp, wheelHeapMargin)
+		if wheel.NsPerOp > wheelHeapMargin*heap.NsPerOp {
+			fmt.Fprintf(os.Stderr, "FAIL: wheel schedule+fire %.1f ns/op exceeds %.2fx heap (%.1f ns/op)\n",
+				wheel.NsPerOp, wheelHeapMargin, heap.NsPerOp)
 			regressed = true
 		}
 	}
@@ -111,9 +165,16 @@ func realMain() int {
 				WallClockMs: float64(elapsed.Nanoseconds()) / 1e6,
 				ChecksPass:  res.Passed(),
 			})
-			fmt.Printf("%-14s %12.0f ms wall-clock  checks pass: %v\n",
+			fmt.Printf("%-16s %12.0f ms wall-clock  checks pass: %v\n",
 				d.name, float64(elapsed.Milliseconds()), res.Passed())
 		}
+	}
+
+	if *parallel > 0 {
+		rep.Suite = timeSuite(*parallel)
+		fmt.Printf("suite (%d exps)  serial %.0f ms, %d workers %.0f ms: %.2fx\n",
+			rep.Suite.Experiments, rep.Suite.SerialMs, rep.Suite.Workers,
+			rep.Suite.ParallelMs, rep.Suite.Speedup)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -131,9 +192,154 @@ func realMain() int {
 		fmt.Printf("wrote %s\n", *out)
 	}
 
+	if *history != "" {
+		if err := appendHistory(*history, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "appending %s: %v\n", *history, err)
+			return 1
+		}
+		fmt.Printf("appended %s\n", *history)
+	}
+
+	if *compare != "" {
+		violations, err := compareAgainst(*compare, rep, *tolerance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comparing against %s: %v\n", *compare, err)
+			return 1
+		}
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+		}
+		if len(violations) > 0 {
+			return 1
+		}
+		fmt.Printf("no regressions against %s (tolerance %.0f%%)\n", *compare, *tolerance*100)
+	}
+
 	if *check && regressed {
-		fmt.Fprintln(os.Stderr, "FAIL: a micro-benchmark allocates per op; the zero-allocation fast path has regressed")
+		fmt.Fprintln(os.Stderr, "FAIL: a perf invariant regressed (allocations on the fast path or wheel-vs-heap margin lost)")
 		return 1
 	}
 	return 0
+}
+
+func findMicro(ms []MicroResult, name string) *MicroResult {
+	for i := range ms {
+		if ms[i].Name == name {
+			return &ms[i]
+		}
+	}
+	return nil
+}
+
+// timeSuite runs all eleven experiments twice — serially, then on a
+// worker pool — with per-experiment default durations, and reports the
+// wall clocks. Results are discarded; the runner's own test asserts the
+// parallel results equal the serial ones.
+func timeSuite(workers int) *SuiteResult {
+	cfg := experiments.Config{Seed: 1}
+	start := time.Now()
+	serial := experiments.All(cfg)
+	serialMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	jobs := []experiments.Job{
+		{ID: "e1", Cfg: cfg, Run: experiments.E1PathDiscovery},
+		{ID: "e2", Cfg: cfg, Run: experiments.E2OWDComparison},
+		{ID: "e3", Cfg: cfg, Run: experiments.E3Jitter},
+		{ID: "e4", Cfg: cfg, Run: experiments.E4RouteChange},
+		{ID: "e5", Cfg: cfg, Run: experiments.E5Instability},
+		{ID: "e6", Cfg: cfg, Run: experiments.E6InOrderImpact},
+		{ID: "e7", Cfg: cfg, Run: experiments.E7MeasurementSoundness},
+		{ID: "e8", Cfg: cfg, Run: experiments.E8DataPlaneCost},
+		{ID: "e9", Cfg: cfg, Run: experiments.E9LossReorder},
+		{ID: "e10", Cfg: cfg, Run: experiments.E10MeshOverlay},
+		{ID: "e11", Cfg: cfg, Run: experiments.E11Failover},
+	}
+	start = time.Now()
+	experiments.RunJobs(jobs, workers)
+	parallelMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	return &SuiteResult{
+		Experiments: len(serial),
+		Workers:     workers,
+		SerialMs:    serialMs,
+		ParallelMs:  parallelMs,
+		Speedup:     serialMs / parallelMs,
+	}
+}
+
+// gitSHA identifies the commit the numbers belong to; "unknown" outside a
+// git checkout keeps the history usable from exported tarballs.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func appendHistory(path string, rep Report) error {
+	var log []HistoryEntry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &log); err != nil {
+			return fmt.Errorf("existing log is not a JSON array: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	log = append(log, HistoryEntry{
+		SHA:    gitSHA(),
+		Time:   time.Now().UTC().Format(time.RFC3339),
+		Report: rep,
+	})
+	enc, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// compareAgainst diffs cur against the baseline report in path. Micros
+// regress on ns/op beyond tolerance or any allocs/op increase;
+// experiment wall clocks get twice the tolerance (they are noisier).
+// Entries missing from the baseline are new and pass by definition.
+func compareAgainst(path string, cur Report, tolerance float64) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, err
+	}
+	var violations []string
+	for _, c := range cur.Micro {
+		b := findMicro(base.Micro, c.Name)
+		if b == nil {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tolerance) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (+%.0f%%, tolerance %.0f%%)",
+				c.Name, c.NsPerOp, b.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, tolerance*100))
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d — the zero-allocation invariant regressed",
+				c.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	for _, c := range cur.Experiments {
+		for _, b := range base.Experiments {
+			if b.Name != c.Name {
+				continue
+			}
+			if b.WallClockMs > 0 && c.WallClockMs > b.WallClockMs*(1+2*tolerance) {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.0f ms vs baseline %.0f ms (+%.0f%%, tolerance %.0f%%)",
+					c.Name, c.WallClockMs, b.WallClockMs,
+					(c.WallClockMs/b.WallClockMs-1)*100, 2*tolerance*100))
+			}
+		}
+	}
+	return violations, nil
 }

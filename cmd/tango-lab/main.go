@@ -5,12 +5,17 @@
 // Usage:
 //
 //	tango-lab [-run e1,e2,...|all] [-seed N] [-duration 2h] [-csv DIR]
-//	          [-cpuprofile FILE] [-memprofile FILE]
+//	          [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints a table, the paper-vs-measured checks, and
 // optionally writes figure series as CSV files into -csv DIR. The
 // profile flags capture pprof data over the whole run, for digging into
 // fast-path regressions the bench harness flags.
+//
+// -parallel N runs up to N experiments concurrently, one simulation
+// engine per goroutine (N <= 0 means one per CPU). Experiments are fully
+// isolated, so the reports are byte-identical to a serial run; output is
+// buffered and printed in experiment order once all results are in.
 package main
 
 import (
@@ -38,6 +43,7 @@ func realMain() int {
 		seed       = flag.Int64("seed", 1, "random seed (equal seeds reproduce exactly)")
 		duration   = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
 		csvDir     = flag.String("csv", "", "directory to write figure series CSVs into")
+		parallel   = flag.Int("parallel", 1, "run up to N experiments concurrently (<=0: one per CPU)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -104,15 +110,32 @@ func realMain() int {
 	fmt.Printf("tango-lab: reproducing HotNets '22 \"It Takes Two to Tango\" (seed %d)\n\n", *seed)
 	allPass := true
 	start := time.Now()
-	for _, id := range ids {
-		res := drivers[id](cfg)
+	emit := func(res *experiments.Result) error {
 		res.WriteText(os.Stdout)
 		fmt.Println()
 		if !res.Passed() {
 			allPass = false
 		}
 		if *csvDir != "" {
-			if err := writeSeries(*csvDir, res); err != nil {
+			return writeSeries(*csvDir, res)
+		}
+		return nil
+	}
+	if *parallel == 1 {
+		// Serial runs stream each report as it finishes.
+		for _, id := range ids {
+			if err := emit(drivers[id](cfg)); err != nil {
+				fmt.Fprintf(os.Stderr, "writing CSVs: %v\n", err)
+				return 1
+			}
+		}
+	} else {
+		jobs := make([]experiments.Job, len(ids))
+		for i, id := range ids {
+			jobs[i] = experiments.Job{ID: id, Cfg: cfg, Run: drivers[id]}
+		}
+		for _, res := range experiments.RunJobs(jobs, *parallel) {
+			if err := emit(res); err != nil {
 				fmt.Fprintf(os.Stderr, "writing CSVs: %v\n", err)
 				return 1
 			}

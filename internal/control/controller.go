@@ -156,7 +156,14 @@ type Controller struct {
 	policy Policy
 	eng    *sim.Engine
 
-	ests       map[uint8]*PathEstimate
+	ests map[uint8]*PathEstimate
+	// order holds the same entries as ests, kept sorted by path ID: new
+	// IDs are spliced in on first report (rare — once per path lifetime),
+	// so snapshots never re-sort. scratch is the decision loop's reusable
+	// snapshot buffer; decide runs every tick for the whole simulation, so
+	// it must not allocate or sort per tick.
+	order      []*PathEstimate
+	scratch    []PathEstimate
 	current    uint8
 	haveCur    bool
 	lastSwitch sim.Time
@@ -224,6 +231,10 @@ func (c *Controller) UpdateEstimate(id uint8, owdMs, jitterMs float64, samples u
 	if !ok {
 		e = &PathEstimate{ID: id}
 		c.ests[id] = e
+		i := sort.Search(len(c.order), func(i int) bool { return c.order[i].ID >= id })
+		c.order = append(c.order, nil)
+		copy(c.order[i+1:], c.order[i:])
+		c.order[i] = e
 	}
 	e.OWDMs = owdMs
 	if jitterMs > 0 {
@@ -238,14 +249,18 @@ func (c *Controller) UpdateEstimate(id uint8, owdMs, jitterMs float64, samples u
 // Estimates returns a snapshot of every known path estimate, sorted by
 // path ID. The decision loop feeds this to the policy (map iteration
 // order must never leak into a tie-break), and chaos invariant checkers
-// read it to judge convergence.
+// read it to judge convergence. The order is maintained incrementally as
+// paths first report, so a snapshot is a straight copy — no per-call
+// sort.
 func (c *Controller) Estimates() []PathEstimate {
-	ests := make([]PathEstimate, 0, len(c.ests))
-	for _, e := range c.ests {
-		ests = append(ests, *e)
+	return c.estimatesInto(make([]PathEstimate, 0, len(c.order)))
+}
+
+func (c *Controller) estimatesInto(dst []PathEstimate) []PathEstimate {
+	for _, e := range c.order {
+		dst = append(dst, *e)
 	}
-	sort.Slice(ests, func(i, j int) bool { return ests[i].ID < ests[j].ID })
-	return ests
+	return dst
 }
 
 // LastSwitch returns when the controller last moved traffic and whether
@@ -272,7 +287,8 @@ func (c *Controller) Stop() {
 
 func (c *Controller) decide(now sim.Time) {
 	c.Stats.Decisions++
-	ests := c.Estimates()
+	c.scratch = c.estimatesInto(c.scratch[:0])
+	ests := c.scratch
 	cur := c.Current()
 	next := c.policy.Choose(now, cur, ests)
 	if _, ok := c.sw.Tunnel(next); !ok {

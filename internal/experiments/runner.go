@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Job is one experiment execution: a driver plus the Config to run it
+// under. The ID is carried through to the result slot for callers that
+// label output.
+type Job struct {
+	ID  string
+	Cfg Config
+	Run func(Config) *Result
+}
+
+// RunJobs executes the jobs on up to workers goroutines and returns their
+// results indexed exactly like jobs, so output order is deterministic no
+// matter how the scheduler interleaves the work. workers <= 0 means
+// GOMAXPROCS; workers == 1 runs everything inline on the caller's
+// goroutine.
+//
+// Running experiments concurrently is safe because an experiment is a
+// closed world: each driver builds its own sim.Engine, simnet.Network,
+// packet buffer pool, and seeded RNG streams, and no package in the
+// simulation stack keeps mutable package-level state. Engines never share
+// events, so the runner needs no locks beyond the WaitGroup — and
+// determinism is untouched, since each engine's virtual timeline is
+// independent of wall-clock interleaving (the race-enabled test suite and
+// CI's -race differential run back this up).
+func RunJobs(jobs []Job, workers int) []*Result {
+	results := make([]*Result, len(jobs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			results[i] = j.Run(j.Cfg)
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = jobs[i].Run(jobs[i].Cfg)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

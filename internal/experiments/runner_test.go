@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The parallel runner's contract is that concurrency is invisible:
+// running the same jobs serially and on several goroutines must produce
+// deeply equal results, in job order. This is the acceptance check for
+// one-engine-per-goroutine isolation — any shared mutable state in the
+// simulation stack would show up here (and under -race in CI).
+func TestRunJobsParallelMatchesSerial(t *testing.T) {
+	mkJobs := func() []Job {
+		cfg := Config{Seed: 7, Duration: 500 * time.Millisecond}
+		return []Job{
+			{ID: "e1", Cfg: cfg, Run: E1PathDiscovery},
+			{ID: "e3", Cfg: cfg, Run: E3Jitter},
+			{ID: "e7", Cfg: cfg, Run: E7MeasurementSoundness},
+			{ID: "e9", Cfg: cfg, Run: E9LossReorder},
+		}
+	}
+	serial := RunJobs(mkJobs(), 1)
+	parallel := RunJobs(mkJobs(), 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] == nil || parallel[i] == nil {
+			t.Fatalf("nil result at %d", i)
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("experiment %s: parallel result differs from serial", serial[i].ID)
+		}
+	}
+}
+
+func TestRunJobsOrderAndWorkerClamp(t *testing.T) {
+	cfg := Config{Seed: 3, Duration: 200 * time.Millisecond}
+	jobs := []Job{
+		{ID: "a", Cfg: cfg, Run: E1PathDiscovery},
+		{ID: "b", Cfg: cfg, Run: E7MeasurementSoundness},
+	}
+	// More workers than jobs, and workers <= 0, must both behave.
+	for _, workers := range []int{16, 0} {
+		res := RunJobs(jobs, workers)
+		if len(res) != 2 {
+			t.Fatalf("workers=%d: got %d results", workers, len(res))
+		}
+		if res[0].ID != "E1" || res[1].ID != "E7" {
+			t.Fatalf("workers=%d: results out of job order: %s, %s", workers, res[0].ID, res[1].ID)
+		}
+	}
+	if res := RunJobs(nil, 4); len(res) != 0 {
+		t.Fatalf("empty jobs returned %d results", len(res))
+	}
+}

@@ -26,9 +26,21 @@ func TestLinkTraverseZeroAlloc(t *testing.T) {
 	assertZeroAlloc(t, "BenchLinkTraverse", BenchLinkTraverse)
 }
 
+// The wheel's schedule/fire and schedule/cancel loops must also be
+// allocation-free in steady state: events come from the engine freelist
+// and lazy cancellation returns them there in bulk, so a 10k-pending
+// backlog costs no per-op heap traffic.
+
+func TestSchedFireZeroAlloc(t *testing.T) { assertZeroAlloc(t, "BenchSchedFire", BenchSchedFire) }
+func TestCancelZeroAlloc(t *testing.T)    { assertZeroAlloc(t, "BenchCancel", BenchCancel) }
+
 // Wrappers so `go test -bench` in this package reports the same numbers
 // the assertions check.
 
-func BenchmarkEncap(b *testing.B)        { BenchEncap(b) }
-func BenchmarkDecap(b *testing.B)        { BenchDecap(b) }
-func BenchmarkLinkTraverse(b *testing.B) { BenchLinkTraverse(b) }
+func BenchmarkEncap(b *testing.B)         { BenchEncap(b) }
+func BenchmarkDecap(b *testing.B)         { BenchDecap(b) }
+func BenchmarkLinkTraverse(b *testing.B)  { BenchLinkTraverse(b) }
+func BenchmarkSchedFire(b *testing.B)     { BenchSchedFire(b) }
+func BenchmarkSchedFireHeap(b *testing.B) { BenchSchedFireHeap(b) }
+func BenchmarkCancel(b *testing.B)        { BenchCancel(b) }
+func BenchmarkCancelHeap(b *testing.B)    { BenchCancelHeap(b) }

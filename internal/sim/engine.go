@@ -1,22 +1,25 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual clock and a priority queue of scheduled
-// events. Events scheduled for the same instant fire in scheduling order,
-// which—together with seeded random streams (see rng.go)—makes every run
-// with the same seed bit-for-bit reproducible. All Tango experiments are
-// built on this property: the paper's eight-day Internet measurement is
-// replaced by a virtual-time trace that can be regenerated exactly.
+// The engine maintains a virtual clock and a hierarchical timing wheel of
+// scheduled events (see wheel.go). Events scheduled for the same instant
+// fire in scheduling order, which—together with seeded random streams
+// (see rng.go)—makes every run with the same seed bit-for-bit
+// reproducible. All Tango experiments are built on this property: the
+// paper's eight-day Internet measurement is replaced by a virtual-time
+// trace that can be regenerated exactly.
 //
 // The engine is single-goroutine by design. Simulated components never
 // block; they schedule continuations instead. This mirrors how an eBPF
 // program or a switch pipeline is written (run-to-completion handlers) and
-// avoids all locking on the simulation hot path.
+// avoids all locking on the simulation hot path. Independent engines are
+// fully isolated, so a sweep of experiments may run one engine per
+// goroutine (see internal/experiments' runner).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 )
 
@@ -26,6 +29,12 @@ type Time = time.Duration
 
 // Forever is a Time later than any event a simulation will schedule.
 const Forever Time = math.MaxInt64
+
+// Event lifecycle states (Event.state).
+const (
+	statePending int32 = 1  // scheduled, will fire unless cancelled
+	stateDone    int32 = -1 // fired, cancelled, or on the freelist
+)
 
 // Event is a scheduled callback. The callback runs exactly once, at the
 // scheduled virtual time, unless cancelled first.
@@ -42,8 +51,8 @@ type Event struct {
 	fn      func()
 	handler ArgHandler
 	arg     any
-	idx     int // heap index; -1 once fired or cancelled
-	next    *Event
+	state   int32
+	next    *Event // bucket / due / freelist chain link
 }
 
 // ArgHandler consumes payload-carrying events scheduled with ScheduleArg.
@@ -59,7 +68,7 @@ type ArgHandler interface {
 }
 
 // Cancelled reports whether the event was cancelled or has already fired.
-func (e *Event) Cancelled() bool { return e.idx < 0 }
+func (e *Event) Cancelled() bool { return e.state < 0 }
 
 // At returns the virtual time the event is (or was) scheduled for.
 func (e *Event) At() Time { return e.at }
@@ -69,7 +78,9 @@ func (e *Event) At() Time { return e.at }
 type Engine struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
+	w       wheel
+	nlive   int // pending, non-cancelled events
+	ntomb   int // cancelled events still linked in a chain
 	running bool
 	stopped bool
 	free    *Event // freelist to avoid per-event allocation in long runs
@@ -80,14 +91,13 @@ type Engine struct {
 		Scheduled uint64
 		Fired     uint64
 		Cancelled uint64
+		Swept     uint64 // tombstones reclaimed (deferred sweeps and bucket expiry)
 	}
 }
 
 // NewEngine returns an engine with the clock at the simulation epoch.
 func NewEngine() *Engine {
-	e := &Engine{}
-	e.pq = make(eventHeap, 0, 1024)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current virtual time.
@@ -95,15 +105,14 @@ func (e *Engine) Now() Time { return e.now }
 
 // Schedule runs fn after delay d of virtual time. A negative delay is
 // treated as zero (fn runs at the current instant, after already-queued
-// events for this instant). The returned Event may be cancelled.
+// events for this instant); a delay so large that now+d overflows virtual
+// time clamps to Forever instead of silently wrapping into the past.
+// The returned Event may be cancelled.
 func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
 	}
-	if d < 0 {
-		d = 0
-	}
-	return e.scheduleAt(e.now+d, fn)
+	return e.scheduleAt(e.deadline(d), fn)
 }
 
 // ScheduleAt runs fn at absolute virtual time t. Scheduling in the past is
@@ -124,15 +133,12 @@ func (e *Engine) scheduleAt(t Time, fn func()) *Event {
 // ScheduleArg runs h.OnSimEvent(arg) after delay d of virtual time, like
 // Schedule but without a closure: the (handler, payload) pair rides the
 // event itself, so scheduling through the event freelist is
-// allocation-free. A negative delay is treated as zero.
+// allocation-free. Negative and overflowing delays clamp as in Schedule.
 func (e *Engine) ScheduleArg(d time.Duration, h ArgHandler, arg any) *Event {
 	if h == nil {
 		panic("sim: ScheduleArg with nil handler")
 	}
-	if d < 0 {
-		d = 0
-	}
-	return e.scheduleArgAt(e.now+d, h, arg)
+	return e.scheduleArgAt(e.deadline(d), h, arg)
 }
 
 // ScheduleArgAt is ScheduleArg at an absolute virtual time. Scheduling in
@@ -154,39 +160,193 @@ func (e *Engine) scheduleArgAt(t Time, h ArgHandler, arg any) *Event {
 	return ev
 }
 
+// deadline converts a relative delay into an absolute instant, clamping
+// negative delays to "now" and overflowing ones to Forever. Without the
+// overflow clamp, now+d wraps negative for delays near Forever and the
+// event silently schedules in the past, firing immediately and out of
+// order.
+func (e *Engine) deadline(d time.Duration) Time {
+	if d < 0 {
+		return e.now
+	}
+	t := e.now + d
+	if t < e.now {
+		return Forever
+	}
+	return t
+}
+
 func (e *Engine) push(t Time) *Event {
 	ev := e.alloc()
 	ev.at = t
 	ev.seq = e.seq
+	ev.state = statePending
 	e.seq++
-	heap.Push(&e.pq, ev)
+	e.w.place(ev)
+	e.nlive++
 	e.Stats.Scheduled++
 	return ev
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op.
+//
+// Cancellation is lazy: the event is tombstoned in place — O(1), no
+// bucket surgery — and its memory is reclaimed when its bucket expires or
+// when accumulated tombstones trigger a deferred sweep, whichever comes
+// first.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 {
+	if ev == nil || ev.state < 0 {
 		return
 	}
-	heap.Remove(&e.pq, ev.idx)
-	ev.idx = -1
+	ev.state = stateDone
 	ev.fn = nil
 	ev.handler = nil
 	ev.arg = nil
+	e.nlive--
+	e.ntomb++
 	e.Stats.Cancelled++
+	e.maybeSweep()
+}
+
+// Sweep policy: tombstones are reclaimed in bulk once enough accumulate
+// to matter, amortizing the walk over the cancels that created them. The
+// floor keeps sweeps rare in cancel-light runs; the live-count ratio
+// keeps a huge backlog from being walked for a handful of tombstones.
+// The floor stays below the freelist cap so a sweep's reclaimed events
+// are actually reusable.
+const (
+	sweepMinTombstones = 2048
+	sweepLiveRatio     = 4 // sweep when ntomb ≥ nlive/sweepLiveRatio
+)
+
+func (e *Engine) maybeSweep() {
+	if e.ntomb >= sweepMinTombstones && e.ntomb*sweepLiveRatio >= e.nlive {
+		e.sweep()
+	}
+}
+
+// sweep unlinks every tombstone from every chain and returns the events
+// to the freelist.
+func (e *Engine) sweep() {
+	w := &e.w
+	w.due, w.dueTail = e.filterChain(w.due)
+	for l := range w.level {
+		lv := &w.level[l]
+		for m := lv.occupied; m != 0; m &= m - 1 {
+			s := bits.TrailingZeros64(m)
+			lv.slot[s], _ = e.filterChain(lv.slot[s])
+			if lv.slot[s] == nil {
+				lv.occupied &^= 1 << uint(s)
+			}
+		}
+	}
+	w.overflow, _ = e.filterChain(w.overflow)
+	w.overflowMin = 0
+	for ev := w.overflow; ev != nil; ev = ev.next {
+		if u := granule(ev.at); w.overflowMin == 0 || u < w.overflowMin {
+			w.overflowMin = u
+		}
+	}
+}
+
+// filterChain rebuilds a chain without its tombstones (order preserved,
+// so the due chain stays sorted) and returns the new head and tail.
+func (e *Engine) filterChain(head *Event) (*Event, *Event) {
+	var out, tail *Event
+	for head != nil {
+		ev := head
+		head = head.next
+		if ev.state < 0 {
+			e.reclaim(ev)
+			continue
+		}
+		ev.next = nil
+		if tail == nil {
+			out = ev
+		} else {
+			tail.next = ev
+		}
+		tail = ev
+	}
+	return out, tail
+}
+
+// reclaim returns an unlinked tombstone to the freelist.
+func (e *Engine) reclaim(ev *Event) {
+	e.ntomb--
+	e.Stats.Swept++
 	e.release(ev)
+}
+
+// sortIntoDue filters tombstones out of an expired level-0 bucket and
+// merges the survivors, sorted by (at, seq), into the due chain.
+func (e *Engine) sortIntoDue(chain *Event) {
+	var live *Event
+	for chain != nil {
+		ev := chain
+		chain = chain.next
+		if ev.state < 0 {
+			e.reclaim(ev)
+			continue
+		}
+		ev.next = live
+		live = ev
+	}
+	live = mergeSortEvents(live)
+	if live == nil {
+		return
+	}
+	w := &e.w
+	if w.due == nil {
+		w.due = live
+	} else {
+		// refill only runs on an empty due chain, but a due chain can be
+		// non-empty here after schedules into already-passed granules;
+		// those all precede the freshly expired bucket (inv-1 held when
+		// they were inserted), so the bucket appends after the tail.
+		w.dueTail.next = live
+	}
+	tail := live
+	for tail.next != nil {
+		tail = tail.next
+	}
+	w.dueTail = tail
+}
+
+// peek returns the earliest pending event without firing it, advancing
+// the wheel cursor (but never the clock) as needed. Tombstones surfacing
+// at the due-chain head are reclaimed on the way.
+func (e *Engine) peek() *Event {
+	for {
+		for ev := e.w.due; ev != nil; ev = e.w.due {
+			if ev.state >= 0 {
+				return ev
+			}
+			e.w.popDue()
+			e.reclaim(ev)
+		}
+		if !e.w.refill(e) {
+			return nil
+		}
+	}
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
 // instant. It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	ev := e.peek()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(*Event)
-	ev.idx = -1
+	e.fire(ev)
+	return true
+}
+
+func (e *Engine) fire(ev *Event) {
+	e.w.popDue()
+	ev.state = stateDone
+	e.nlive--
 	e.now = ev.at
 	fn, h, arg := ev.fn, ev.handler, ev.arg
 	ev.fn, ev.handler, ev.arg = nil, nil, nil
@@ -197,7 +357,6 @@ func (e *Engine) Step() bool {
 	} else {
 		h.OnSimEvent(arg)
 	}
-	return true
 }
 
 // Run fires events until the queue drains or the clock would pass until.
@@ -210,11 +369,12 @@ func (e *Engine) Run(until Time) (fired int) {
 	e.running = true
 	e.stopped = false
 	defer func() { e.running = false }()
-	for len(e.pq) > 0 && !e.stopped {
-		if e.pq[0].at > until {
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.at > until {
 			break
 		}
-		e.Step()
+		e.fire(ev)
 		fired++
 	}
 	if until != Forever && e.now < until {
@@ -231,16 +391,18 @@ func (e *Engine) RunAll() (fired int) { return e.Run(Forever) }
 // It may be called from inside an event callback.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Pending returns the number of events currently queued (cancelled events
+// excluded).
+func (e *Engine) Pending() int { return e.nlive }
 
 // NextAt returns the virtual time of the earliest pending event, or
 // (Forever, false) if the queue is empty.
 func (e *Engine) NextAt() (Time, bool) {
-	if len(e.pq) == 0 {
+	ev := e.peek()
+	if ev == nil {
 		return Forever, false
 	}
-	return e.pq[0].at, true
+	return ev.at, true
 }
 
 func (e *Engine) alloc() *Event {
@@ -262,35 +424,4 @@ func (e *Engine) release(ev *Event) {
 	ev.next = e.free
 	e.free = ev
 	e.nfree++
-}
-
-// eventHeap orders events by (time, sequence number). The sequence tie-break
-// guarantees FIFO execution of events scheduled for the same instant, which
-// is what makes the engine deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }

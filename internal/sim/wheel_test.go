@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Tests in this file target the timing-wheel internals through the public
+// Engine API: level-boundary placement, own-digit cascades, cursor jumps
+// across empty windows, overflow rebase, the overflow clamp on Schedule,
+// and the lazy-cancellation sweep. The differential test (differential_
+// test.go) covers the same machinery with random scripts; these pin down
+// the named edge cases so a regression points straight at the broken path.
+
+// gran converts a granule index into the Time at that granule's start.
+func gran(u int64) Time { return Time(u << granBits) }
+
+// collectFires runs the engine dry and returns each fired event's instant.
+func collectFires(t *testing.T, e *Engine, fns []func()) []Time {
+	t.Helper()
+	var got []Time
+	for _, fn := range fns {
+		fn() // schedule
+	}
+	for e.Step() {
+		got = append(got, e.Now())
+	}
+	return got
+}
+
+func wantOrder(t *testing.T, got, want []Time) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d (got %v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v (full: %v)", i, got[i], want[i], want)
+		}
+	}
+}
+
+// Events on both sides of a level-1 region boundary must fire in time
+// order even though they are filed at different wheel levels: granule 63
+// sits in level 0's initial window while granules 64..127 start life in a
+// level-1 bucket that the cursor must cascade when it crosses into the
+// region (the own-digit cascade, inv-2 part 1).
+func TestWheelLevelBoundaryCascade(t *testing.T) {
+	e := NewEngine()
+	at := []Time{gran(127) + 5, gran(64), gran(63), gran(64) + 1, gran(65)}
+	var got []Time
+	for _, a := range at {
+		a := a
+		e.ScheduleAt(a, func() { got = append(got, a) })
+	}
+	for e.Step() {
+	}
+	wantOrder(t, got, []Time{gran(63), gran(64), gran(64) + 1, gran(65), gran(127) + 5})
+	if n := e.Pending(); n != 0 {
+		t.Fatalf("Pending() = %d after drain", n)
+	}
+}
+
+// Placement boundaries per level: the last instant covered by level l and
+// the first instant of level l+1 are adjacent in time and must fire
+// adjacently, for every level the wheel has.
+func TestWheelEveryLevelBoundary(t *testing.T) {
+	e := NewEngine()
+	var want []Time
+	for l := 0; l < numLevels; l++ {
+		edge := Time(int64(1) << (granBits + uint(l+1)*levelBits))
+		if edge > Forever/2 {
+			break
+		}
+		want = append(want, edge-1, edge, edge+1)
+	}
+	var got []Time
+	for _, a := range want {
+		a := a
+		e.ScheduleAt(a, func() { got = append(got, a) })
+	}
+	for e.Step() {
+	}
+	wantOrder(t, got, want)
+}
+
+// An empty level-0 window must not be scanned granule by granule: the
+// cursor jumps straight to the earliest occupied slot of the lowest
+// non-empty level (inv-2 part 2). The jump must pick the lower level even
+// when a higher level is also occupied, and NextAt must report the exact
+// instant without advancing the clock.
+func TestWheelJumpAcrossEmptyWindow(t *testing.T) {
+	e := NewEngine()
+	near := Time(int64(1) << (granBits + levelBits + 3))  // level 1 territory
+	far := Time(int64(3) << (granBits + 4*levelBits + 1)) // level 4 territory
+	var got []Time
+	e.ScheduleAt(far, func() { got = append(got, far) })
+	e.ScheduleAt(near, func() { got = append(got, near) })
+	if at, ok := e.NextAt(); !ok || at != near {
+		t.Fatalf("NextAt() = %v, %v; want %v, true", at, ok, near)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("NextAt advanced the clock to %v", e.Now())
+	}
+	for e.Step() {
+	}
+	wantOrder(t, got, []Time{near, far})
+}
+
+// After NextAt has pulled the cursor forward to a far event's region, a
+// schedule into an already-passed granule must still fire first: it lands
+// on the sorted due chain ahead of the far event (inv-1).
+func TestWheelScheduleBehindCursor(t *testing.T) {
+	e := NewEngine()
+	far := Time(int64(1) << (granBits + 2*levelBits))
+	var got []Time
+	e.ScheduleAt(far, func() { got = append(got, far) })
+	if at, _ := e.NextAt(); at != far {
+		t.Fatalf("NextAt() = %v, want %v", at, far)
+	}
+	near := gran(2) + 7
+	e.ScheduleAt(near, func() { got = append(got, near) })
+	if at, _ := e.NextAt(); at != near {
+		t.Fatalf("NextAt() after behind-cursor schedule = %v, want %v", at, near)
+	}
+	for e.Step() {
+	}
+	wantOrder(t, got, []Time{near, far})
+}
+
+// Events beyond the wheel horizon wait on the overflow chain; once the
+// wheel drains, the cursor rebases onto the chain and the events fire at
+// their exact instants, in order — including a second-generation overflow
+// that is beyond the horizon even from the rebased cursor.
+func TestWheelOverflowRebase(t *testing.T) {
+	e := NewEngine()
+	horizon := int64(1) << (granBits + horizonBits)
+	within := Time(int64(5) << (granBits + 3*levelBits))
+	over1 := Time(horizon + int64(gran(3)))
+	over2 := Time(2*horizon + 12345)
+	var got []Time
+	for _, a := range []Time{over2, within, over1} {
+		a := a
+		e.ScheduleAt(a, func() { got = append(got, a) })
+	}
+	for e.Step() {
+	}
+	wantOrder(t, got, []Time{within, over1, over2})
+}
+
+// Regression for the virtual-time overflow: before the deadline clamp,
+// now+d wrapped negative for delays near MaxInt64 and the event either
+// fired immediately (ahead of genuinely earlier events) or corrupted the
+// queue order. Huge delays must clamp to Forever, fire last, and only
+// under Run(Forever).
+func TestScheduleOverflowClampsToForever(t *testing.T) {
+	e := NewEngine()
+	e.Run(50 * time.Millisecond) // now > 0 so now+MaxInt64 definitely wraps
+	var got []string
+	evHuge := e.Schedule(math.MaxInt64-1, func() { got = append(got, "huge") })
+	if evHuge.At() != Forever {
+		t.Fatalf("huge delay scheduled at %v, want Forever", evHuge.At())
+	}
+	e.Schedule(time.Millisecond, func() { got = append(got, "soon") })
+	e.Run(time.Second)
+	if len(got) != 1 || got[0] != "soon" {
+		t.Fatalf("after Run(1s) fired %v, want [soon]", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want the Forever event", e.Pending())
+	}
+	e.RunAll()
+	if len(got) != 2 || got[1] != "huge" {
+		t.Fatalf("after RunAll fired %v, want [soon huge]", got)
+	}
+	if e.Now() != Forever {
+		t.Fatalf("clock at %v after firing Forever event", e.Now())
+	}
+}
+
+// The same clamp must protect the closure-free path.
+func TestScheduleArgOverflowClampsToForever(t *testing.T) {
+	e := NewEngine()
+	e.Run(time.Millisecond)
+	h := &recordingHandler{}
+	ev := e.ScheduleArg(math.MaxInt64, h, "late")
+	if ev.At() != Forever {
+		t.Fatalf("ScheduleArg huge delay at %v, want Forever", ev.At())
+	}
+}
+
+type recordingHandler struct{ args []any }
+
+func (r *recordingHandler) OnSimEvent(arg any) { r.args = append(r.args, arg) }
+
+// Lazy cancellation: cancelling is O(1) tombstoning, Pending drops
+// immediately, and once tombstones cross the sweep thresholds they are
+// reclaimed in bulk without firing anything.
+func TestLazyCancelSweep(t *testing.T) {
+	e := NewEngine()
+	n := sweepMinTombstones + sweepMinTombstones/2
+	evs := make([]*Event, n)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i+1)*time.Hour, func() { t.Fatal("cancelled event fired") })
+	}
+	for _, ev := range evs {
+		e.Cancel(ev)
+		if !ev.Cancelled() {
+			t.Fatal("Cancel did not mark the event")
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancelling everything", e.Pending())
+	}
+	if e.Stats.Swept == 0 {
+		t.Fatalf("no deferred sweep ran after %d cancels (threshold %d)", n, sweepMinTombstones)
+	}
+	if fired := e.RunAll(); fired != 0 {
+		t.Fatalf("RunAll fired %d cancelled events", fired)
+	}
+}
+
+// A sweep must preserve the survivors and their order: interleave live and
+// cancelled events across several levels, trigger the sweep, and verify
+// the live ones still fire exactly in (at, seq) order.
+func TestSweepPreservesSurvivors(t *testing.T) {
+	e := NewEngine()
+	var want []Time
+	var doomed []*Event
+	for i := 0; i < 2*sweepMinTombstones; i++ {
+		at := Time(i+1) * Time(37*time.Microsecond) // spreads across levels 0-2
+		if i%8 == 0 {
+			want = append(want, at)
+			e.ScheduleAt(at, func() {})
+		} else {
+			doomed = append(doomed, e.ScheduleAt(at, func() {}))
+		}
+	}
+	for _, ev := range doomed {
+		e.Cancel(ev)
+	}
+	if e.Stats.Swept == 0 {
+		t.Fatal("expected a deferred sweep")
+	}
+	var got []Time
+	for e.Step() {
+		got = append(got, e.Now())
+	}
+	wantOrder(t, got, want)
+}
+
+// NextAt must skip a cancelled head: cancel the earliest event and the
+// next-earliest becomes the answer, even after the cancelled one had
+// already been surfaced to the due chain by a prior NextAt.
+func TestNextAtSkipsCancelledHead(t *testing.T) {
+	e := NewEngine()
+	first := e.Schedule(time.Millisecond, func() {})
+	e.Schedule(2*time.Millisecond, func() {})
+	if at, _ := e.NextAt(); at != time.Millisecond {
+		t.Fatalf("NextAt() = %v, want 1ms", at)
+	}
+	e.Cancel(first)
+	if at, _ := e.NextAt(); at != 2*time.Millisecond {
+		t.Fatalf("NextAt() after cancel = %v, want 2ms", at)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+// Same-granule events keep FIFO order through the bucket sort even when
+// they arrive interleaved with cancels in the same bucket.
+func TestWheelSameGranuleFIFOWithCancels(t *testing.T) {
+	e := NewEngine()
+	at := gran(40) + 3
+	var got []int
+	var cancels []*Event
+	for i := 0; i < 32; i++ {
+		i := i
+		if i%3 == 1 {
+			cancels = append(cancels, e.ScheduleAt(at, func() { t.Fatal("cancelled fired") }))
+		} else {
+			e.ScheduleAt(at, func() { got = append(got, i) })
+		}
+	}
+	for _, ev := range cancels {
+		e.Cancel(ev)
+	}
+	e.RunAll()
+	want := 0
+	for i := 0; i < 32; i++ {
+		if i%3 == 1 {
+			continue
+		}
+		if got[want] != i {
+			t.Fatalf("same-granule FIFO broken: position %d fired #%d, want #%d", want, got[want], i)
+		}
+		want++
+	}
+}
