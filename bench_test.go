@@ -37,6 +37,14 @@ func BenchmarkDecap(b *testing.B) { perf.BenchDecap(b) }
 // BenchmarkLinkTraverse measures inject→link→deliver through the engine.
 func BenchmarkLinkTraverse(b *testing.B) { perf.BenchLinkTraverse(b) }
 
+// BenchmarkObsCounter measures one labelled counter increment — the
+// per-packet cost the telemetry layer adds to every instrumented event.
+func BenchmarkObsCounter(b *testing.B) { perf.BenchObsCounter(b) }
+
+// BenchmarkObsHistogram measures one histogram observation (log2
+// bucketing plus two atomic adds).
+func BenchmarkObsHistogram(b *testing.B) { perf.BenchObsHistogram(b) }
+
 func benchCfg(seed int64, d time.Duration) experiments.Config {
 	return experiments.Config{Seed: seed, Duration: d}
 }

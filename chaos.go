@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tango/internal/chaos"
+	"tango/internal/obs"
 )
 
 // Chaos is the public handle on the deterministic fault-injection engine
@@ -45,6 +46,13 @@ func (m *Mesh) Chaos() (*Chaos, error) {
 	ch.StartChecks(250 * time.Millisecond)
 	m.chaos = &Chaos{m: m, eng: ch}
 	return m.chaos, nil
+}
+
+// Instrument registers fault counters and per-trunk drop counters in
+// reg and journals chaos events (fault applies/reverts, withdrawals,
+// invariant violations, queue drops) to j.
+func (c *Chaos) Instrument(reg *obs.Registry, j *obs.Journal) {
+	c.eng.Instrument(reg, j)
 }
 
 // trunk resolves a site/provider pair to its registered target name.

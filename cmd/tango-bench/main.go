@@ -114,6 +114,8 @@ func realMain() int {
 		{"SchedFire10kHeap", perf.BenchSchedFireHeap},
 		{"Cancel10k", perf.BenchCancel},
 		{"Cancel10kHeap", perf.BenchCancelHeap},
+		{"ObsCounter", perf.BenchObsCounter},
+		{"ObsHistogram", perf.BenchObsHistogram},
 	}
 
 	rep := Report{GoVersion: runtime.Version()}

@@ -19,12 +19,16 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -117,7 +121,10 @@ func realMain() int {
 			allPass = false
 		}
 		if *csvDir != "" {
-			return writeSeries(*csvDir, res)
+			if err := writeSeries(*csvDir, res); err != nil {
+				return err
+			}
+			return writeMetrics(*csvDir, res)
 		}
 		return nil
 	}
@@ -170,5 +177,52 @@ func writeSeries(dir string, res *experiments.Result) error {
 		}
 		fmt.Printf("   wrote %s\n", path)
 	}
+	return nil
+}
+
+// writeMetrics dumps the experiment's final observability snapshot as
+// sorted JSON next to the CSV series. Keys are rendered instrument names
+// ("tango_..._total{site=\"ny\"}"); sorting keeps the file diffable
+// across runs.
+func writeMetrics(dir string, res *experiments.Result) error {
+	if len(res.Metrics) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(res.Metrics))
+	for k := range res.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	path := filepath.Join(dir, strings.ToLower(res.ID)+"_metrics.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "{")
+	for i, k := range keys {
+		sep := ","
+		if i == len(keys)-1 {
+			sep = ""
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Fprintf(w, "  %s: %s%s\n", kb, strconv.FormatFloat(res.Metrics[k], 'g', -1, 64), sep)
+	}
+	fmt.Fprintln(w, "}")
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("   wrote %s\n", path)
 	return nil
 }

@@ -6,15 +6,26 @@
 //
 //	tangod [-seed N] [-hours 2] [-report 5m] [-policy min-delay|min-jitter|static]
 //	       [-event none|route-shift|instability] [-event-at 1h]
+//	       [-metrics :9090]
+//
+// With -metrics, tangod serves live observability over real HTTP while
+// virtual time runs: GET /metrics is a Prometheus text scrape of every
+// registered counter, gauge and histogram, and GET /trace?n=100 is a
+// JSON tail of the structured trace journal (path switches, queue
+// drops). All instruments are atomic, so scrapes never block the event
+// loop.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"tango"
+	"tango/internal/obs"
 )
 
 func main() {
@@ -25,6 +36,7 @@ func main() {
 		policy  = flag.String("policy", "min-delay", "path policy: min-delay, min-jitter, static")
 		event   = flag.String("event", "none", "incident to inject on GTT NY->LA: none, route-shift, instability")
 		eventAt = flag.Duration("event-at", time.Hour, "virtual time of the incident")
+		metrics = flag.String("metrics", "", "serve Prometheus /metrics and JSON /trace on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -52,6 +64,25 @@ func main() {
 		s.OnPathSwitch(func(at time.Duration, from, to string) {
 			fmt.Printf("%9v  %s: controller switched %s -> %s\n", at.Round(time.Second), s.Name(), from, to)
 		})
+	}
+
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		j := obs.NewJournal(4096)
+		must(lab.Instrument(reg, j))
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: obs.Handler(reg, j)}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("tangod: serving /metrics and /trace on %s\n", ln.Addr())
 	}
 
 	switch *event {

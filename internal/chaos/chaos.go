@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tango/internal/bgp"
+	"tango/internal/obs"
 	"tango/internal/sim"
 	"tango/internal/simnet"
 )
@@ -70,6 +71,16 @@ type Engine struct {
 	tick       *sim.Ticker
 	log        []Entry
 	violations []Violation
+
+	// Instrumentation (nil when uninstrumented). The journal mirrors the
+	// event log: fault applies/reverts, withdrawals, and violations each
+	// append one virtual-time record, so seeded runs produce byte-identical
+	// trace tails.
+	reg        *obs.Registry
+	journal    *obs.Journal
+	obsApplied *obs.Counter
+	obsRevert  *obs.Counter
+	obsViol    *obs.Counter
 }
 
 // New creates a chaos engine on the simulation engine under test.
@@ -84,8 +95,37 @@ func New(eng *sim.Engine) *Engine {
 // Sim returns the underlying simulation engine.
 func (e *Engine) Sim() *sim.Engine { return e.eng }
 
+// Instrument registers fault counters in reg and starts journaling chaos
+// events to j. Lines already registered as targets gain per-line drop
+// counters; lines added later are instrumented in AddLine.
+func (e *Engine) Instrument(reg *obs.Registry, j *obs.Journal) {
+	e.reg = reg
+	e.journal = j
+	e.obsApplied = reg.Counter("tango_chaos_faults_applied_total",
+		"Faults whose Apply ran successfully.")
+	e.obsRevert = reg.Counter("tango_chaos_faults_reverted_total",
+		"Fault windows that closed and reverted.")
+	e.obsViol = reg.Counter("tango_chaos_violations_total",
+		"Invariant violations observed at check instants.")
+	for name, l := range e.lines {
+		e.instrumentLine(name, l)
+	}
+}
+
+func (e *Engine) instrumentLine(name string, l *simnet.Line) {
+	drop := e.reg.Counter("tango_line_drops_total",
+		"Packets refused at line admission (down or queue overflow).",
+		obs.L("line", name))
+	l.Instrument(name, drop, e.journal)
+}
+
 // AddLine registers a line as a fault target under name.
-func (e *Engine) AddLine(name string, l *simnet.Line) { e.lines[name] = l }
+func (e *Engine) AddLine(name string, l *simnet.Line) {
+	e.lines[name] = l
+	if e.reg != nil {
+		e.instrumentLine(name, l)
+	}
+}
 
 // AddSpeaker registers a BGP speaker as a withdrawal target under name.
 func (e *Engine) AddSpeaker(name string, sp *bgp.Speaker) { e.speakers[name] = sp }
@@ -128,6 +168,10 @@ func (e *Engine) Invariants() int { return len(e.invs) }
 // Both transitions are logged.
 func (e *Engine) Schedule(f Fault) {
 	at, dur := f.Window()
+	kind := obs.KindFaultApply
+	if _, isWithdraw := f.(Withdrawal); isWithdraw {
+		kind = obs.KindWithdraw
+	}
 	e.eng.ScheduleAt(at, func() {
 		revert, err := f.Apply(e)
 		if err != nil {
@@ -135,10 +179,14 @@ func (e *Engine) Schedule(f Fault) {
 			return
 		}
 		e.logf("apply %s", f.Label())
+		e.obsApplied.Inc()
+		e.journal.Record(e.eng.Now(), kind, 0, 0, int64(dur), f.Label())
 		if revert != nil && dur > 0 {
 			e.eng.Schedule(dur, func() {
 				revert()
 				e.logf("revert %s", f.Label())
+				e.obsRevert.Inc()
+				e.journal.Record(e.eng.Now(), obs.KindFaultRevert, 0, 0, 0, f.Label())
 			})
 		}
 	})
@@ -170,6 +218,8 @@ func (e *Engine) runChecks(now sim.Time) {
 			v := Violation{At: now, Invariant: inv.Name(), Err: err.Error()}
 			e.violations = append(e.violations, v)
 			e.logf("VIOLATION %s: %s", inv.Name(), err)
+			e.obsViol.Inc()
+			e.journal.Record(now, obs.KindViolation, 0, 0, 0, inv.Name())
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tango/internal/addr"
+	"tango/internal/obs"
 	"tango/internal/sim"
 	"tango/internal/simnet"
 )
@@ -51,6 +52,9 @@ func stormRun(seed int64) string {
 	ch.AddLine("ba", ab.LineBA())
 	ch.AddLine("bc", bc.LineAB())
 	ch.AddLine("cb", bc.LineBA())
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal(4096)
+	ch.Instrument(reg, journal)
 	ch.Watch(Conservation("chain", w))
 	ch.Watch(BufferBalance("chain", w))
 	ch.StartChecks(50 * time.Millisecond)
@@ -64,6 +68,11 @@ func stormRun(seed int64) string {
 
 	var sb strings.Builder
 	sb.WriteString(ch.LogString())
+	// The trace journal rides along in the fingerprint: seeded replays
+	// must produce byte-identical /trace output, not just equal logs.
+	if err := journal.WriteJSON(&sb, 0); err != nil {
+		panic(err)
+	}
 	for _, lk := range w.Links() {
 		for i, ln := range [2]*simnet.Line{lk.LineAB(), lk.LineBA()} {
 			fmt.Fprintf(&sb, "%s[%d] %+v\n", lk.Name(), i, ln.Stats)

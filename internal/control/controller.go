@@ -2,9 +2,11 @@ package control
 
 import (
 	"sort"
+	"strconv"
 	"time"
 
 	"tango/internal/dataplane"
+	"tango/internal/obs"
 	"tango/internal/packet"
 	"tango/internal/sim"
 )
@@ -172,11 +174,91 @@ type Controller struct {
 	// OnSwitch fires when the controller moves traffic between paths.
 	OnSwitch func(at sim.Time, from, to uint8)
 
+	// cobs and journal are set by Instrument; nil means uninstrumented.
+	cobs    *ctlObs
+	journal *obs.Journal
+
 	Stats struct {
 		Decisions uint64
 		Switches  uint64
 		Reports   uint64
 	}
+}
+
+// ctlObs is the controller's registered instrument set. The per-path
+// gauges mirror the Estimates() snapshot exactly: they are written in
+// UpdateEstimate immediately after the estimate's fields (and its slot
+// in the sorted order slice) are final, and the switch counter is
+// incremented in the same event as Stats.Switches and lastSwitch — so
+// at any event boundary the gauges, the counter, and the snapshot agree
+// (the obs consistency test pins this down).
+type ctlObs struct {
+	reg  *obs.Registry
+	site string
+
+	decisions, switches, reports *obs.Counter
+	decideNs                     *obs.Histogram
+	current                      *obs.Gauge
+	paths                        map[uint8]*pathGauges
+}
+
+// pathGauges mirrors one PathEstimate.
+type pathGauges struct {
+	owd, jitter, samples *obs.Gauge
+}
+
+// Instrument registers the controller's metrics in reg under the given
+// site label and starts journaling path switches (old/new tunnel plus
+// OWD delta) to j. Paths already estimated register immediately; new
+// paths register on their first report.
+func (c *Controller) Instrument(reg *obs.Registry, j *obs.Journal, site string) {
+	l := obs.L("site", site)
+	co := &ctlObs{
+		reg:  reg,
+		site: site,
+		decisions: reg.Counter("tango_controller_decisions_total",
+			"Decision-loop ticks executed.", l),
+		switches: reg.Counter("tango_controller_switches_total",
+			"Times the controller moved data traffic between paths.", l),
+		reports: reg.Counter("tango_controller_reports_total",
+			"Piggybacked path reports folded into estimates.", l),
+		decideNs: reg.Histogram("tango_controller_decide_ns",
+			"Wall-clock duration of one decision tick, nanoseconds.", l),
+		current: reg.Gauge("tango_controller_current_path",
+			"Path ID currently carrying data traffic.", l),
+		paths: make(map[uint8]*pathGauges),
+	}
+	c.cobs = co
+	c.journal = j
+	for id, e := range c.ests {
+		co.pathGauges(id).set(e)
+	}
+	co.current.Set(float64(c.Current()))
+}
+
+// pathGauges returns (registering on first use) the gauges for a path.
+func (co *ctlObs) pathGauges(id uint8) *pathGauges {
+	pg, ok := co.paths[id]
+	if !ok {
+		ls := []obs.Label{obs.L("site", co.site), obs.L("path", strconv.Itoa(int(id)))}
+		pg = &pathGauges{
+			owd: co.reg.Gauge("tango_estimate_owd_ms",
+				"Sender-side smoothed OWD estimate by outgoing path, milliseconds (receiver clock domain).", ls...),
+			jitter: co.reg.Gauge("tango_estimate_jitter_ms",
+				"Sender-side smoothed jitter estimate by outgoing path, milliseconds.", ls...),
+			samples: co.reg.Gauge("tango_estimate_samples",
+				"Sample count behind the latest report for this path.", ls...),
+		}
+		co.paths[id] = pg
+	}
+	return pg
+}
+
+// set mirrors one estimate into its gauges.
+func (pg *pathGauges) set(e *PathEstimate) {
+	pg.owd.Set(e.OWDMs)
+	pg.jitter.Set(e.JitterMs)
+	pg.samples.Set(float64(e.Samples))
 }
 
 // NewController creates a controller for sw (the local switch whose
@@ -244,6 +326,13 @@ func (c *Controller) UpdateEstimate(id uint8, owdMs, jitterMs float64, samples u
 	e.UpdatedAt = c.eng.Now()
 	e.Valid = true
 	c.Stats.Reports++
+	// Gauges mirror the estimate only after every field (and the order
+	// slice) is final, so a concurrent scrape never sees a gauge ahead of
+	// what Estimates() would return at this event boundary.
+	if co := c.cobs; co != nil {
+		co.reports.Inc()
+		co.pathGauges(id).set(e)
+	}
 }
 
 // Estimates returns a snapshot of every known path estimate, sorted by
@@ -286,24 +375,70 @@ func (c *Controller) Stop() {
 }
 
 func (c *Controller) decide(now sim.Time) {
+	var t0 time.Time
+	if c.cobs != nil {
+		t0 = time.Now()
+	}
 	c.Stats.Decisions++
 	c.scratch = c.estimatesInto(c.scratch[:0])
 	ests := c.scratch
 	cur := c.Current()
 	next := c.policy.Choose(now, cur, ests)
-	if _, ok := c.sw.Tunnel(next); !ok {
-		return
-	}
-	if !c.haveCur || next != c.current {
-		from := cur
-		c.current = next
-		c.haveCur = true
-		if next != from {
-			c.Stats.Switches++
-			c.lastSwitch = now
-			if c.OnSwitch != nil {
-				c.OnSwitch(now, from, next)
+	if _, ok := c.sw.Tunnel(next); ok {
+		if !c.haveCur || next != c.current {
+			from := cur
+			c.current = next
+			c.haveCur = true
+			if next != from {
+				c.Stats.Switches++
+				c.lastSwitch = now
+				if co := c.cobs; co != nil {
+					co.switches.Inc()
+					co.current.Set(float64(next))
+				}
+				c.journal.Record(now, obs.KindPathSwitch, from, next,
+					owdDeltaNs(ests, from, next), c.siteLabel())
+				if c.OnSwitch != nil {
+					c.OnSwitch(now, from, next)
+				}
 			}
 		}
 	}
+	if co := c.cobs; co != nil {
+		co.decisions.Inc()
+		co.decideNs.Observe(int64(time.Since(t0)))
+	}
+}
+
+// siteLabel returns the instrumented site name, or "" when uninstrumented
+// (the journal is nil then anyway, so the value never escapes).
+func (c *Controller) siteLabel() string {
+	if c.cobs != nil {
+		return c.cobs.site
+	}
+	return ""
+}
+
+// owdDeltaNs returns (to - from) OWD in nanoseconds from a snapshot —
+// negative when the switch improved delay. Missing or invalid estimates
+// contribute zero (a switch forced by a dead path has no defined delta).
+func owdDeltaNs(ests []PathEstimate, from, to uint8) int64 {
+	var fromMs, toMs float64
+	var haveFrom, haveTo bool
+	for i := range ests {
+		e := &ests[i]
+		if !e.Valid {
+			continue
+		}
+		if e.ID == from {
+			fromMs, haveFrom = e.OWDMs, true
+		}
+		if e.ID == to {
+			toMs, haveTo = e.OWDMs, true
+		}
+	}
+	if !haveFrom || !haveTo {
+		return 0
+	}
+	return int64((toMs - fromMs) * float64(time.Millisecond))
 }

@@ -1,10 +1,12 @@
 package control
 
 import (
+	"strconv"
 	"time"
 
 	"tango/internal/dataplane"
 	"tango/internal/measure"
+	"tango/internal/obs"
 	"tango/internal/packet"
 	"tango/internal/sim"
 )
@@ -31,6 +33,12 @@ type PathMonitor struct {
 	// Series, when non-nil, records the time series for figures.
 	Series *measure.Series
 
+	// owdHist/jitHist are registered by Monitor.Instrument; Ingest
+	// observes into them nil-safely, so an uninstrumented monitor pays
+	// two branches per sample and nothing else.
+	owdHist *obs.Histogram
+	jitHist *obs.Histogram
+
 	LastAt  sim.Time
 	LastOWD time.Duration
 }
@@ -49,7 +57,34 @@ type Monitor struct {
 	// OnSample, when set, fires after each sample is folded in.
 	OnSample func(*PathMonitor, dataplane.Measurement)
 
+	// reg/site carry the instrumentation target set by Instrument;
+	// per-path histograms register in newPath (which already allocates,
+	// so registration stays off the per-sample path).
+	reg  *obs.Registry
+	site string
+
 	Samples uint64
+}
+
+// Instrument registers per-path OWD and jitter histograms in reg under
+// the given site label. Paths already known register immediately; new
+// paths register as they first report. OWD observations are the raw
+// per-packet one-way delay in nanoseconds (receiver clock domain);
+// jitter observations are the per-sample |successive OWD difference|.
+func (m *Monitor) Instrument(reg *obs.Registry, site string) {
+	m.reg = reg
+	m.site = site
+	for id, pm := range m.paths {
+		m.instrumentPath(id, pm)
+	}
+}
+
+func (m *Monitor) instrumentPath(id uint8, pm *PathMonitor) {
+	ls := []obs.Label{obs.L("site", m.site), obs.L("path", strconv.Itoa(int(id)))}
+	pm.owdHist = m.reg.Histogram("tango_path_owd_ns",
+		"Per-packet one-way delay by incoming path, nanoseconds (receiver clock domain).", ls...)
+	pm.jitHist = m.reg.Histogram("tango_path_jitter_ns",
+		"Per-sample absolute successive OWD difference by incoming path, nanoseconds.", ls...)
 }
 
 // NewMonitor returns an empty monitor.
@@ -78,12 +113,14 @@ func (m *Monitor) Ingest(meas dataplane.Measurement, nameFor func(uint8) string)
 	m.Samples++
 	owdMs := float64(meas.OWD) / float64(time.Millisecond)
 	pm.OWD.Add(owdMs)
+	pm.owdHist.Observe(int64(meas.OWD))
 	if pm.OWD.N() > 1 {
 		d := owdMs - float64(pm.LastOWD)/float64(time.Millisecond)
 		if d < 0 {
 			d = -d
 		}
 		pm.JitEst.Add(d)
+		pm.jitHist.Observe(int64(d * float64(time.Millisecond)))
 	}
 	pm.Est.Add(owdMs)
 	pm.Jitter.Add(time.Duration(meas.At), owdMs)
@@ -116,6 +153,9 @@ func (m *Monitor) newPath(id uint8, name string) *PathMonitor {
 	}
 	if m.RecordBucket > 0 {
 		pm.Series = measure.NewSeries(name, m.RecordBucket)
+	}
+	if m.reg != nil {
+		m.instrumentPath(id, pm)
 	}
 	m.paths[id] = pm
 	return pm

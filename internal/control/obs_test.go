@@ -1,0 +1,147 @@
+package control
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tango/internal/dataplane"
+	"tango/internal/obs"
+	"tango/internal/simnet"
+)
+
+// TestControllerObsAgreesWithEstimates pins the consistency contract:
+// at any event boundary the registered gauges must read exactly what
+// Estimates() returns, the switch counter must equal Stats.Switches,
+// and the current-path gauge must equal Current() — a switch may never
+// become visible in the counter before the estimate state it acted on.
+func TestControllerObsAgreesWithEstimates(t *testing.T) {
+	w := simnet.New(1)
+	n := w.AddNode("x", 0)
+	sw := dataplane.NewSwitch(n)
+	sw.AddTunnel(&dataplane.Tunnel{PathID: 1, LocalAddr: mustAddr("2001:db8::1"), RemoteAddr: mustAddr("2001:db8::2")})
+	sw.AddTunnel(&dataplane.Tunnel{PathID: 2, LocalAddr: mustAddr("2001:db8::3"), RemoteAddr: mustAddr("2001:db8::4")})
+	ctl := NewController(w.Eng, sw, &MinOWD{HysteresisMs: 0.5})
+	reg := obs.NewRegistry()
+	j := obs.NewJournal(16)
+	ctl.Instrument(reg, j, "ny")
+
+	check := func(when string) {
+		t.Helper()
+		snap := reg.Snapshot()
+		for _, e := range ctl.Estimates() {
+			owdKey := fmt.Sprintf(`tango_estimate_owd_ms{path="%d",site="ny"}`, e.ID)
+			if got := snap[owdKey]; got != e.OWDMs {
+				t.Fatalf("%s: gauge %s = %v, Estimates() says %v", when, owdKey, got, e.OWDMs)
+			}
+			jitKey := fmt.Sprintf(`tango_estimate_jitter_ms{path="%d",site="ny"}`, e.ID)
+			if got := snap[jitKey]; got != e.JitterMs {
+				t.Fatalf("%s: gauge %s = %v, Estimates() says %v", when, jitKey, got, e.JitterMs)
+			}
+			sampKey := fmt.Sprintf(`tango_estimate_samples{path="%d",site="ny"}`, e.ID)
+			if got := snap[sampKey]; got != float64(e.Samples) {
+				t.Fatalf("%s: gauge %s = %v, Estimates() says %v", when, sampKey, got, e.Samples)
+			}
+		}
+		if got := snap[`tango_controller_switches_total{site="ny"}`]; got != float64(ctl.Stats.Switches) {
+			t.Fatalf("%s: switch counter %v != Stats.Switches %d", when, got, ctl.Stats.Switches)
+		}
+		if got := snap[`tango_controller_current_path{site="ny"}`]; got != float64(ctl.Current()) {
+			t.Fatalf("%s: current gauge %v != Current() %d", when, got, ctl.Current())
+		}
+		if got := snap[`tango_controller_decisions_total{site="ny"}`]; got != float64(ctl.Stats.Decisions) {
+			t.Fatalf("%s: decisions counter %v != Stats.Decisions %d", when, got, ctl.Stats.Decisions)
+		}
+	}
+
+	check("before any report")
+	ctl.UpdateEstimate(1, 30, 0.4, 10)
+	check("after first report")
+	ctl.UpdateEstimate(2, 20, 0.2, 12)
+	check("after second path appears")
+
+	ctl.Start(10 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		w.Run(10 * time.Millisecond)
+		check("mid decision loop")
+	}
+	if ctl.Stats.Switches == 0 {
+		t.Fatal("fixture never switched; consistency-under-switch not exercised")
+	}
+
+	// Shift the estimates back so the controller switches again, then
+	// verify at the very next boundary.
+	ctl.UpdateEstimate(1, 5, 0.4, 40)
+	check("after estimate shift")
+	w.Run(3 * time.Second) // past MinDwell default of 0
+	check("after switch back")
+	if ctl.Stats.Switches < 2 {
+		t.Fatalf("expected a second switch, got %d", ctl.Stats.Switches)
+	}
+	ctl.Stop()
+}
+
+// TestControllerJournalRecordsSwitch verifies the trace record: kind
+// path_switch, A/B the old and new path IDs, V the OWD delta (new minus
+// old) in nanoseconds, target the site label.
+func TestControllerJournalRecordsSwitch(t *testing.T) {
+	w := simnet.New(2)
+	n := w.AddNode("x", 0)
+	sw := dataplane.NewSwitch(n)
+	sw.AddTunnel(&dataplane.Tunnel{PathID: 1, LocalAddr: mustAddr("2001:db8::1"), RemoteAddr: mustAddr("2001:db8::2")})
+	sw.AddTunnel(&dataplane.Tunnel{PathID: 2, LocalAddr: mustAddr("2001:db8::3"), RemoteAddr: mustAddr("2001:db8::4")})
+	ctl := NewController(w.Eng, sw, &MinOWD{HysteresisMs: 0.5})
+	reg := obs.NewRegistry()
+	j := obs.NewJournal(16)
+	ctl.Instrument(reg, j, "ny")
+
+	ctl.UpdateEstimate(1, 30, 0, 10)
+	ctl.UpdateEstimate(2, 20, 0, 10)
+	ctl.Start(10 * time.Millisecond)
+	w.Run(50 * time.Millisecond)
+
+	recs := j.Tail(0)
+	if len(recs) != 1 {
+		t.Fatalf("journal has %d records, want 1 (the switch): %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Kind != obs.KindPathSwitch || r.A != 1 || r.B != 2 {
+		t.Fatalf("record = kind %v A %d B %d, want path_switch 1->2", r.Kind, r.A, r.B)
+	}
+	wantDelta := int64((20.0 - 30.0) * float64(time.Millisecond))
+	if r.V != wantDelta {
+		t.Fatalf("OWD delta = %d ns, want %d", r.V, wantDelta)
+	}
+	if r.Target() != "ny" {
+		t.Fatalf("target = %q, want ny", r.Target())
+	}
+	ctl.Stop()
+}
+
+// TestMonitorObsHistograms verifies Ingest feeds the per-path OWD and
+// jitter histograms, including lazy registration of paths that first
+// report after Instrument.
+func TestMonitorObsHistograms(t *testing.T) {
+	mon := NewMonitor()
+	reg := obs.NewRegistry()
+	mon.Instrument(reg, "la")
+
+	mon.Ingest(dataplane.Measurement{PathID: 1, OWD: 25 * time.Millisecond, Seq: 1}, nil)
+	mon.Ingest(dataplane.Measurement{PathID: 1, OWD: 27 * time.Millisecond, Seq: 2}, nil)
+	mon.Ingest(dataplane.Measurement{PathID: 2, OWD: 40 * time.Millisecond, Seq: 1}, nil)
+
+	snap := reg.Snapshot()
+	if got := snap[`tango_path_owd_ns_count{path="1",site="la"}`]; got != 2 {
+		t.Fatalf("path 1 OWD observations = %v, want 2", got)
+	}
+	if got := snap[`tango_path_owd_ns_sum{path="1",site="la"}`]; got != float64(52*time.Millisecond) {
+		t.Fatalf("path 1 OWD sum = %v, want %v", got, float64(52*time.Millisecond))
+	}
+	// Jitter only starts with the second sample of a path.
+	if got := snap[`tango_path_jitter_ns_count{path="1",site="la"}`]; got != 1 {
+		t.Fatalf("path 1 jitter observations = %v, want 1", got)
+	}
+	if got := snap[`tango_path_owd_ns_count{path="2",site="la"}`]; got != 1 {
+		t.Fatalf("lazily registered path 2 observations = %v, want 1", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"tango/internal/bgp"
 	"tango/internal/control"
 	"tango/internal/dataplane"
+	"tango/internal/obs"
 	"tango/internal/sim"
 	"tango/internal/topo"
 	"tango/internal/workload"
@@ -128,6 +129,16 @@ func (s *Site) PinnedPrefix(id uint8) (addr.Prefix, error) {
 // Peer returns the other site.
 func (s *Site) Peer() *Site { return s.peer }
 
+// Instrument registers the site's switch, monitor, and controller
+// metrics in reg under the site's name and journals its path switches
+// to j.
+func (s *Site) Instrument(reg *obs.Registry, j *obs.Journal) {
+	name := s.Spec.Name
+	s.Switch.Instrument(reg, name)
+	s.Monitor.Instrument(reg, name)
+	s.Controller.Instrument(reg, j, name)
+}
+
 // Pair is a Tango deployment between two sites.
 type Pair struct {
 	A, B *Site
@@ -141,6 +152,15 @@ type Pair struct {
 
 // Ready reports whether establishment completed.
 func (p *Pair) Ready() bool { return p.ready }
+
+// Instrument registers both sites' metrics in reg (labelled by site
+// name) and journals their path switches to j. Call after Establish so
+// every tunnel and path is known; lazily created paths still register
+// on first report.
+func (p *Pair) Instrument(reg *obs.Registry, j *obs.Journal) {
+	p.A.Instrument(reg, j)
+	p.B.Instrument(reg, j)
+}
 
 // NewPair prepares (but does not start) a deployment. Both sites must
 // live on the same engine.

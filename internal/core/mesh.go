@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"tango/internal/bgp"
 	"tango/internal/control"
 	"tango/internal/dataplane"
+	"tango/internal/obs"
 	"tango/internal/packet"
 	"tango/internal/sim"
 	"tango/internal/topo"
@@ -155,6 +157,27 @@ func (m *Mesh) addMember(site, peer string, s *Site) {
 
 // Ready reports whether every pair finished establishing.
 func (m *Mesh) Ready() bool { return m.ready }
+
+// Instrument registers every member edge server's metrics in reg and
+// journals path switches to j. A site deployed on several links has one
+// member switch per adjacent peer, so members are labelled "site->peer"
+// (plain site names would alias distinct switches onto one instrument).
+func (m *Mesh) Instrument(reg *obs.Registry, j *obs.Journal) {
+	for _, site := range m.Sites() {
+		peers := make([]string, 0, len(m.members[site]))
+		for peer := range m.members[site] {
+			peers = append(peers, peer)
+		}
+		sort.Strings(peers)
+		for _, peer := range peers {
+			s := m.members[site][peer]
+			name := site + "->" + peer
+			s.Switch.Instrument(reg, name)
+			s.Monitor.Instrument(reg, name)
+			s.Controller.Instrument(reg, j, name)
+		}
+	}
+}
 
 // Sites returns the mesh's site names, sorted.
 func (m *Mesh) Sites() []string { return m.Table.Sites() }

@@ -22,9 +22,11 @@ package dataplane
 import (
 	"fmt"
 	"net/netip"
+	"strconv"
 	"time"
 
 	"tango/internal/addr"
+	"tango/internal/obs"
 	"tango/internal/packet"
 	"tango/internal/sim"
 	"tango/internal/simnet"
@@ -164,6 +166,73 @@ type Switch struct {
 		// delivered locally.
 		Relayed uint64
 	}
+
+	// sobs holds the switch's registered observability instruments;
+	// nil when the switch is not instrumented. All instrument methods
+	// are nil-safe, so the fast path carries a single branch per
+	// counter and no allocation either way (see internal/obs).
+	sobs *switchObs
+}
+
+// switchObs is the instrument set Instrument registers. Per-tunnel and
+// per-path instruments are indexed by path ID so the hot path reaches
+// them with one array load; slots register at AddTunnel time (tx/probe/
+// data) or on first arrival (rx), never per packet in steady state.
+type switchObs struct {
+	reg  *obs.Registry
+	site string
+
+	encapNs, decapNs    *obs.Histogram
+	encapped, decapped  *obs.Counter
+	badPacket, noTunnel *obs.Counter
+	authFail, relayed   *obs.Counter
+	repSent, repRecvd   *obs.Counter
+	tx, probe, data, rx [256]*obs.Counter
+}
+
+// Instrument registers the switch's metrics in reg under the given site
+// label and starts updating them alongside Stats. Tunnels already added
+// get their per-tunnel counters immediately; later AddTunnel calls
+// register theirs on the way in. Safe to call once, before traffic.
+func (s *Switch) Instrument(reg *obs.Registry, site string) {
+	so := &switchObs{reg: reg, site: site}
+	l := obs.L("site", site)
+	so.encapNs = reg.Histogram("tango_dataplane_encap_ns",
+		"Wall-clock latency of the sender program (classify, encapsulate, checksum, inject), nanoseconds.", l)
+	so.decapNs = reg.Histogram("tango_dataplane_decap_ns",
+		"Wall-clock latency of the receiver program (parse, verify, measure, decap, deliver), nanoseconds.", l)
+	so.encapped = reg.Counter("tango_dataplane_encapped_total", "Packets encapsulated by the sender program.", l)
+	so.decapped = reg.Counter("tango_dataplane_decapped_total", "Tango packets decapsulated by the receiver program.", l)
+	so.badPacket = reg.Counter("tango_dataplane_bad_packets_total", "Packets dropped as unparsable or unserializable.", l)
+	so.noTunnel = reg.Counter("tango_dataplane_no_tunnel_total", "Packets dropped because no tunnel was available.", l)
+	so.authFail = reg.Counter("tango_dataplane_auth_fail_total", "Tango datagrams dropped by telemetry authentication.", l)
+	so.relayed = reg.Counter("tango_dataplane_relayed_total", "Arriving packets handed to the relay program.", l)
+	so.repSent = reg.Counter("tango_dataplane_reports_sent_total", "Piggybacked measurement reports sent.", l)
+	so.repRecvd = reg.Counter("tango_dataplane_reports_recvd_total", "Piggybacked measurement reports received.", l)
+	s.sobs = so
+	for _, t := range s.tunnels {
+		so.addTunnel(t.PathID)
+	}
+}
+
+// addTunnel registers the sender-side per-tunnel counters for a path ID.
+func (so *switchObs) addTunnel(id uint8) {
+	ls := []obs.Label{obs.L("site", so.site), obs.L("path", strconv.Itoa(int(id)))}
+	so.tx[id] = so.reg.Counter("tango_tunnel_tx_total", "Packets sent on this tunnel (probes plus data).", ls...)
+	so.probe[id] = so.reg.Counter("tango_tunnel_probe_total", "Measurement probes sent on this tunnel.", ls...)
+	so.data[id] = so.reg.Counter("tango_tunnel_data_total", "Selector-steered data packets sent on this tunnel.", ls...)
+}
+
+// rxCounter returns (registering on first use) the receiver-side
+// arrival counter for a path ID.
+func (so *switchObs) rxCounter(id uint8) *obs.Counter {
+	if c := so.rx[id]; c != nil {
+		return c
+	}
+	c := so.reg.Counter("tango_tunnel_rx_total", "Tango packets arriving on this path.",
+		obs.L("site", so.site), obs.L("path", strconv.Itoa(int(id))))
+	so.rx[id] = c
+	return c
 }
 
 // NewSwitch attaches a Tango switch to a simnet node. It takes over the
@@ -192,6 +261,9 @@ func (s *Switch) AddTunnel(t *Tunnel) {
 	s.tunnels = append(s.tunnels, t)
 	s.tunnelIDs[t.PathID] = t
 	s.node.AddAddr(t.LocalAddr)
+	if s.sobs != nil {
+		s.sobs.addTunnel(t.PathID)
+	}
 }
 
 // RemoveTunnel withdraws a path (e.g. discovery found it dead) and
@@ -288,7 +360,7 @@ func (s *Switch) SendToPeer(inner []byte) {
 // path at a fixed rate regardless of where data traffic currently flows.
 func (s *Switch) SendOnTunnel(tun *Tunnel, inner []byte) {
 	before := tun.Stats.Sent
-	s.encapOn(tun, inner, 0)
+	s.encapOn(tun, inner, 0, true)
 	// Only count the probe if the encap actually went out (encapOn can
 	// drop on a serialization failure without touching Sent).
 	tun.Stats.ProbeSent += tun.Stats.Sent - before
@@ -311,7 +383,7 @@ func (s *Switch) handle(_ *simnet.Port, data []byte) {
 func (s *Switch) HandleHostTraffic(data []byte) {
 	dst, ok := innerDst(data)
 	if !ok {
-		s.Stats.BadPacket++
+		s.badPacket()
 		return
 	}
 	if _, _, tango := s.peerHosts.Lookup(dst); tango {
@@ -353,12 +425,22 @@ func (s *Switch) encapAndSend(inner []byte, relayTTL uint8) {
 	} else if len(s.tunnels) > 0 {
 		tun = s.tunnels[0]
 	}
-	s.encapOn(tun, inner, relayTTL)
+	s.encapOn(tun, inner, relayTTL, false)
 }
 
-func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8) {
+// encapOn encapsulates inner onto tun. probe marks measurement traffic
+// (SendOnTunnel) as opposed to selector-steered data, for the per-tunnel
+// probe/data counters.
+func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8, probe bool) {
+	var t0 time.Time
+	if s.sobs != nil {
+		t0 = time.Now()
+	}
 	if tun == nil {
 		s.Stats.NoTunnel++
+		if s.sobs != nil {
+			s.sobs.noTunnel.Inc()
+		}
 		return
 	}
 	flags := uint8(packet.TangoFlagSeq | packet.TangoFlagTimestamp)
@@ -379,6 +461,9 @@ func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8) {
 		hdr.Flags |= packet.TangoFlagReport
 		hdr.Report = s.popReport()
 		s.Stats.ReportsSent++
+		if s.sobs != nil {
+			s.sobs.repSent.Inc()
+		}
 	}
 	if s.authKey != nil {
 		hdr.ExtFlags |= packet.TangoExtAuth
@@ -417,6 +502,9 @@ func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8) {
 		}
 		if err != nil {
 			s.Stats.BadPacket++
+			if s.sobs != nil {
+				s.sobs.badPacket.Inc()
+			}
 			pb.Release()
 			return
 		}
@@ -437,6 +525,9 @@ func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8) {
 		}
 		if err != nil {
 			s.Stats.BadPacket++
+			if s.sobs != nil {
+				s.sobs.badPacket.Inc()
+			}
 			pb.Release()
 			return
 		}
@@ -444,6 +535,16 @@ func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8) {
 	tun.Stats.Sent++
 	s.Stats.Encapped++
 	s.node.InjectBuf(pb)
+	if so := s.sobs; so != nil {
+		so.encapped.Inc()
+		so.tx[tun.PathID].Inc()
+		if probe {
+			so.probe[tun.PathID].Inc()
+		} else {
+			so.data[tun.PathID].Inc()
+		}
+		so.encapNs.Observe(int64(time.Since(t0)))
+	}
 }
 
 // isTangoPacket performs the cheap match an eBPF program would do before
@@ -462,26 +563,33 @@ func (s *Switch) isTangoPacket(data []byte) bool {
 // receiverProgram is the receiver eBPF program: parse, measure, decap,
 // deliver.
 func (s *Switch) receiverProgram(data []byte) {
+	var t0 time.Time
+	if s.sobs != nil {
+		t0 = time.Now()
+	}
 	if err := s.decIP.DecodeFromBytes(data); err != nil {
-		s.Stats.BadPacket++
+		s.badPacket()
 		return
 	}
 	if err := s.decUDP.DecodeFromBytes(s.decIP.LayerPayload()); err != nil {
-		s.Stats.BadPacket++
+		s.badPacket()
 		return
 	}
 	if err := s.decUDP.VerifyChecksum(s.decIP.Src, s.decIP.Dst, s.decIP.LayerPayload()); err != nil {
-		s.Stats.BadPacket++
+		s.badPacket()
 		return
 	}
 	if err := s.decTng.DecodeFromBytes(s.decUDP.LayerPayload()); err != nil {
-		s.Stats.BadPacket++
+		s.badPacket()
 		return
 	}
 	if s.authKey != nil && !packet.VerifyTangoDatagram(s.authKey, s.decUDP.LayerPayload()) {
 		// Unsigned or tampered: reject before it can pollute the
 		// measurement engine.
 		s.Stats.AuthFail++
+		if s.sobs != nil {
+			s.sobs.authFail.Inc()
+		}
 		return
 	}
 	hdr := &s.decTng
@@ -497,13 +605,23 @@ func (s *Switch) receiverProgram(data []byte) {
 	}
 	if hdr.Flags&packet.TangoFlagReport != 0 {
 		s.Stats.ReportsRecvd++
+		if s.sobs != nil {
+			s.sobs.repRecvd.Inc()
+		}
 		if s.OnReport != nil {
 			s.OnReport(hdr.Report)
 		}
 	}
 	s.Stats.Decapped++
+	if so := s.sobs; so != nil {
+		so.decapped.Inc()
+		so.rxCounter(hdr.PathID).Inc()
+	}
 	inner := hdr.LayerPayload()
 	if len(inner) == 0 {
+		if so := s.sobs; so != nil {
+			so.decapNs.Observe(int64(time.Since(t0)))
+		}
 		return
 	}
 	// Relay program: a tagged packet whose inner destination has a next
@@ -513,6 +631,10 @@ func (s *Switch) receiverProgram(data []byte) {
 	if hdr.ExtFlags&packet.TangoExtRelay != 0 && s.relay != nil {
 		if s.relay.forward(inner, hdr.RelayTTL) {
 			s.Stats.Relayed++
+			if so := s.sobs; so != nil {
+				so.relayed.Inc()
+				so.decapNs.Observe(int64(time.Since(t0)))
+			}
 			return
 		}
 	}
@@ -520,4 +642,15 @@ func (s *Switch) receiverProgram(data []byte) {
 	// (released by the node once the handler chain returns); DeliverLocal
 	// consumers copy if they retain. No per-packet copy here.
 	s.DeliverLocal(inner)
+	if so := s.sobs; so != nil {
+		so.decapNs.Observe(int64(time.Since(t0)))
+	}
+}
+
+// badPacket counts a receiver-side parse/verify failure.
+func (s *Switch) badPacket() {
+	s.Stats.BadPacket++
+	if s.sobs != nil {
+		s.sobs.badPacket.Inc()
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"tango/internal/control"
 	"tango/internal/core"
 	"tango/internal/events"
+	"tango/internal/obs"
 	"tango/internal/topo"
 )
 
@@ -39,6 +40,8 @@ func E10MeshOverlay(cfg Config) *Result {
 	if !m.RunUntilReady(2 * time.Hour) {
 		panic("experiments: mesh failed to establish")
 	}
+	reg := obs.NewRegistry()
+	m.Instrument(reg, obs.NewJournal(1024))
 
 	// The motivating asymmetry: the direct pair has no path diversity.
 	direct := m.Member("ny", "la")
@@ -158,6 +161,7 @@ func E10MeshOverlay(cfg Config) *Result {
 	r.note("composite scores stay in summed receiver clock domains; the telescoped " +
 		"offset is identical for both ny->la routes, so the comparison is exact")
 	r.VirtualTime = time.Duration(eng.Now())
+	r.Metrics = deterministicSnapshot(reg)
 	return r
 }
 

@@ -7,6 +7,7 @@ import (
 	"tango/internal/chaos"
 	"tango/internal/control"
 	"tango/internal/core"
+	"tango/internal/obs"
 	"tango/internal/sim"
 	"tango/internal/simnet"
 	"tango/internal/topo"
@@ -59,6 +60,9 @@ func E11Failover(cfg Config) *Result {
 		panic("experiments: mesh failed to establish")
 	}
 	eng := s.B.Eng()
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal(1024)
+	m.Instrument(reg, journal)
 
 	sender := m.Member("ny", "chi")
 	recv := m.Member("chi", "ny")
@@ -91,6 +95,7 @@ func E11Failover(cfg Config) *Result {
 		}
 	}
 	ch.AddSpeaker("edge/chi:ny", recv.Spec.Edge.Speaker)
+	ch.Instrument(reg, journal)
 
 	lineFor := map[uint8]*simnet.Line{}
 	for i, dp := range sender.OutPaths {
@@ -250,6 +255,7 @@ func E11Failover(cfg Config) *Result {
 		"the estimate goes stale (%v), and MinOWD abandons the path — no link-state signal",
 		reportAge, staleAfter)
 	r.VirtualTime = time.Duration(eng.Now())
+	r.Metrics = deterministicSnapshot(reg)
 	return r
 }
 

@@ -85,6 +85,7 @@ func E2OWDComparison(cfg Config) *Result {
 		}
 	}
 	r.note("raw OWDs carry the inter-switch clock offset (%.0f ms NY->LA); table values are offset-corrected using ground truth the deployment itself does not need", ms(l.offNYtoLA))
+	l.snapshot(r)
 	return r
 }
 
@@ -118,5 +119,6 @@ func E3Jitter(cfg Config) *Result {
 	if jit["GTT"] > 0 {
 		r.check("jitter separation Telia/GTT", ">10x apart", jit["Telia"]/jit["GTT"] > 10, "%.0fx", jit["Telia"]/jit["GTT"])
 	}
+	l.snapshot(r)
 	return r
 }

@@ -95,6 +95,7 @@ func E4RouteChange(cfg Config) *Result {
 			r.Series["ny-la/"+pm.Name] = pm.Series
 		}
 	}
+	l.snapshot(r)
 	return r
 }
 
@@ -171,5 +172,6 @@ func E5Instability(cfg Config) *Result {
 			r.Series["ny-la/"+pm.Name] = pm.Series
 		}
 	}
+	l.snapshot(r)
 	return r
 }

@@ -85,6 +85,7 @@ func E6InOrderImpact(cfg Config) *Result {
 			inOrder.Add(ms(lat))
 			res.Add(ms(lat))
 		}
+		l.snapshot(r) // adaptive run's snapshot wins (it runs second)
 		return raw.Mean(), inOrder.Mean(), res.Quantile(0.99), total
 	}
 
@@ -186,6 +187,7 @@ func E7MeasurementSoundness(cfg Config) *Result {
 	r.check("RTT/2 misattributes asymmetric paths", "bidirectional metrics hard to decompose",
 		errOut > 2 && errBack < -2, "per-direction error %+.2f / %+.2f ms", errOut, errBack)
 	r.VirtualTime = dur * 5
+	l.snapshot(r)
 	return r
 }
 

@@ -121,5 +121,6 @@ func E9LossReorder(cfg Config) *Result {
 	r.note("GTT cumulative loss over the whole trace: %.4f%%", gtt.Seq.LossRate()*100)
 
 	r.VirtualTime = l.now()
+	l.snapshot(r)
 	return r
 }

@@ -38,6 +38,10 @@ type Result struct {
 	Notes []string
 	// VirtualTime is how much simulated time the experiment covered.
 	VirtualTime time.Duration
+	// Metrics is the deployment's final observability snapshot, keyed
+	// "name{labels}" (histograms contribute _count and _sum entries).
+	// tango-lab writes it as <id>_metrics.json next to the CSV series.
+	Metrics map[string]float64
 }
 
 func newResult(id, title string) *Result {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"strings"
 	"time"
 
 	"tango/internal/control"
 	"tango/internal/core"
+	"tango/internal/obs"
 	"tango/internal/topo"
 )
 
@@ -14,6 +16,10 @@ import (
 type lab struct {
 	S    *topo.Scenario
 	Pair *core.Pair
+	// Reg/J observe the deployment for the whole run; snapshot folds the
+	// final state into a Result for tango-lab to export.
+	Reg *obs.Registry
+	J   *obs.Journal
 	// offNYtoLA is the constant added to raw OWDs measured at LA for
 	// NY->LA traffic (receiver clock minus sender clock); offLAtoNY
 	// the reverse.
@@ -59,13 +65,47 @@ func newLab(o labOpts) *lab {
 	if !p.RunUntilReady(2 * time.Hour) {
 		panic("experiments: pair failed to establish")
 	}
+	reg := obs.NewRegistry()
+	j := obs.NewJournal(1024)
+	p.Instrument(reg, j)
 	return &lab{
 		S:         s,
 		Pair:      p,
+		Reg:       reg,
+		J:         j,
 		offNYtoLA: o.clockLA - o.clockNY,
 		offLAtoNY: o.clockNY - o.clockLA,
 		t0:        s.B.W.Now(),
 	}
+}
+
+// snapshot folds the lab's final observability state into the result.
+func (l *lab) snapshot(r *Result) { r.Metrics = deterministicSnapshot(l.Reg) }
+
+// wallClockFamilies are the instrument families measuring host wall-clock
+// latency. Their values vary run to run even with a fixed seed, so
+// experiment snapshots drop them: seeded Results stay deeply equal (the
+// parallel runner's contract) and metrics.json stays reproducible. The
+// event counts they would carry are duplicated by the corresponding
+// _total counters.
+var wallClockFamilies = []string{
+	"tango_dataplane_encap_ns",
+	"tango_dataplane_decap_ns",
+	"tango_controller_decide_ns",
+}
+
+// deterministicSnapshot returns reg's snapshot minus wall-clock families.
+func deterministicSnapshot(reg *obs.Registry) map[string]float64 {
+	snap := reg.Snapshot()
+	for k := range snap {
+		for _, fam := range wallClockFamilies {
+			if strings.HasPrefix(k, fam) {
+				delete(snap, k)
+				break
+			}
+		}
+	}
+	return snap
 }
 
 // run advances virtual time by d.

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a trace record.
+type Kind uint8
+
+// Trace record kinds.
+const (
+	// KindPathSwitch is a controller moving data traffic between
+	// tunnels: A is the old path ID, B the new, V the OWD delta in
+	// nanoseconds (new minus old, negative when switching to a faster
+	// path), Target the site name.
+	KindPathSwitch Kind = iota + 1
+	// KindFaultApply / KindFaultRevert bracket a chaos fault window;
+	// Target is the fault label.
+	KindFaultApply
+	KindFaultRevert
+	// KindWithdraw is a BGP withdrawal fault taking effect; Target is
+	// the fault label (speaker and prefix).
+	KindWithdraw
+	// KindQueueDrop is a line dropping a packet at admission (queue
+	// overflow or administratively down); V is the packet size in
+	// bytes, Target the line name.
+	KindQueueDrop
+	// KindViolation is a chaos invariant failing; Target is the
+	// invariant name.
+	KindViolation
+)
+
+// String returns the stable wire name used in JSON exposition.
+func (k Kind) String() string {
+	switch k {
+	case KindPathSwitch:
+		return "path_switch"
+	case KindFaultApply:
+		return "fault_apply"
+	case KindFaultRevert:
+		return "fault_revert"
+	case KindWithdraw:
+		return "withdraw"
+	case KindQueueDrop:
+		return "queue_drop"
+	case KindViolation:
+		return "violation"
+	default:
+		return "unknown"
+	}
+}
+
+// TargetLen is the fixed byte budget for a record's target name; longer
+// names are truncated. Fixed-size records keep Record allocation-free
+// and make the ring's memory footprint exact.
+const TargetLen = 40
+
+// Rec is one fixed-size trace record. All fields are virtual-time data,
+// so seeded runs produce byte-identical journals (see WriteJSON).
+type Rec struct {
+	// Seq numbers records in append order across the whole run (it
+	// keeps counting when the ring wraps, so a tail knows how much
+	// history was overwritten).
+	Seq  uint64
+	At   time.Duration // virtual time
+	Kind Kind
+	A, B uint8
+	V    int64
+	tlen uint8
+	targ [TargetLen]byte
+}
+
+// Target returns the record's target name (truncated to TargetLen).
+func (r *Rec) Target() string { return string(r.targ[:r.tlen]) }
+
+// Journal is a bounded ring of trace records. Record is zero-allocation
+// after construction; readers copy records out under the same mutex, so
+// a real-HTTP /trace tail can run while the simulation appends.
+type Journal struct {
+	mu   sync.Mutex
+	recs []Rec
+	next uint64 // total records ever appended
+}
+
+// NewJournal returns a journal keeping the last capacity records
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{recs: make([]Rec, capacity)}
+}
+
+// Record appends one record, overwriting the oldest when the ring is
+// full. Safe on a nil receiver (no-op), so instrumented components call
+// it unconditionally.
+func (j *Journal) Record(at time.Duration, kind Kind, a, b uint8, v int64, target string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	r := &j.recs[j.next%uint64(len(j.recs))]
+	r.Seq = j.next
+	r.At = at
+	r.Kind = kind
+	r.A, r.B = a, b
+	r.V = v
+	n := copy(r.targ[:], target)
+	r.tlen = uint8(n)
+	j.next++
+	j.mu.Unlock()
+}
+
+// Total returns how many records were ever appended (including ones the
+// ring has since overwritten).
+func (j *Journal) Total() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Tail returns copies of the most recent n records in append order
+// (all of them when n <= 0 or n exceeds what the ring holds).
+func (j *Journal) Tail(n int) []Rec {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	held := j.next
+	if held > uint64(len(j.recs)) {
+		held = uint64(len(j.recs))
+	}
+	if n <= 0 || uint64(n) > held {
+		n = int(held)
+	}
+	out := make([]Rec, n)
+	for i := 0; i < n; i++ {
+		seq := j.next - uint64(n) + uint64(i)
+		out[i] = j.recs[seq%uint64(len(j.recs))]
+	}
+	return out
+}
+
+// WriteJSON writes the most recent n records (all for n <= 0) as a JSON
+// array. The rendering is hand-rolled and field-ordered, so two seeded
+// runs that produced the same records produce byte-identical output —
+// the determinism artifact the journal tests compare.
+func (j *Journal) WriteJSON(w io.Writer, n int) error {
+	recs := j.Tail(n)
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		sep := ","
+		if i == len(recs)-1 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(w, "  {\"seq\":%d,\"at_ns\":%d,\"kind\":%q,\"a\":%d,\"b\":%d,\"v\":%d,\"target\":%q}%s\n",
+			r.Seq, int64(r.At), r.Kind.String(), r.A, r.B, r.V, escapeJSONSafe(r.Target()), sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// escapeJSONSafe strips control characters that %q would render as Go
+// escapes unknown to JSON (targets are ASCII labels in practice; this
+// guards fuzzed or hostile names).
+func escapeJSONSafe(s string) string {
+	if !strings.ContainsFunc(s, func(r rune) bool { return r < 0x20 || r == 0x7f }) {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			b.WriteByte('.')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3.14)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Bucket(3) != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	g := r.Gauge("g", "help")
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", g.Value())
+	}
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Fatalf("gauge = %v, want +Inf", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3},
+		{1023, 10}, {1024, 11}, {math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's values must fall below its upper bound and at or
+	// above the previous bound.
+	for _, c := range cases {
+		if c.v <= 0 {
+			continue
+		}
+		b := bucketOf(c.v)
+		if c.v >= BucketUpperBound(b) && b != NumBuckets-1 {
+			t.Errorf("value %d >= upper bound %d of its own bucket %d", c.v, BucketUpperBound(b), b)
+		}
+		if b > 1 && c.v < BucketUpperBound(b-1) {
+			t.Errorf("value %d < upper bound %d of the previous bucket", c.v, BucketUpperBound(b-1))
+		}
+	}
+
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1500)
+	if h.Count() != 3 || h.Sum() != 1501 {
+		t.Fatalf("count %d sum %d, want 3 / 1501", h.Count(), h.Sum())
+	}
+	if h.Bucket(0) != 1 || h.Bucket(1) != 1 || h.Bucket(11) != 1 {
+		t.Fatalf("bucket spread wrong: %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(11))
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("site", "ny"), L("path", "1"))
+	// Same identity, labels given in a different order.
+	b := r.Counter("x_total", "help", L("path", "1"), L("site", "ny"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	c := r.Counter("x_total", "help", L("site", "la"), L("path", "1"))
+	if a == c {
+		t.Fatal("different label values must return distinct counters")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two types must panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+func TestRegistryHelpMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "one help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name with two help strings must panic")
+		}
+	}()
+	r.Counter("m", "another help")
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h", L("site", "ny")).Add(7)
+	r.Gauge("g", "h").Set(1.5)
+	h := r.Histogram("lat_ns", "h")
+	h.Observe(10)
+	h.Observe(20)
+
+	snap := r.Snapshot()
+	want := map[string]float64{
+		`c_total{site="ny"}`: 7,
+		`g`:                  1.5,
+		`lat_ns_count`:       2,
+		`lat_ns_sum`:         30,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %v, want %v", k, snap[k], v)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Errorf("snapshot has %d entries, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+func TestRenderLabelsEscaping(t *testing.T) {
+	got := renderLabels([]Label{L("line", "a\\b\"c\nd")})
+	want := `line="a\\b\"c\nd"`
+	if got != want {
+		t.Fatalf("renderLabels = %q, want %q", got, want)
+	}
+}

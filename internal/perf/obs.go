@@ -1,0 +1,51 @@
+package perf
+
+import (
+	"testing"
+
+	"tango/internal/obs"
+)
+
+// The observability instruments live on the packet fast path, so they
+// are held to the same standard as the path itself: after registration
+// (which may allocate freely), Counter.Inc and Histogram.Observe must
+// not touch the heap. These bodies back both the -bench wrappers and
+// the hard zero-allocation assertions in perf_test.go.
+
+// BenchObsCounter measures Counter.Inc on a registered, labelled
+// counter — the exact op the dataplane performs per packet.
+func BenchObsCounter(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("bench_counter_total", "bench", obs.L("site", "bench"))
+	for i := 0; i < warmupIters; i++ {
+		c.Inc()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	b.StopTimer()
+	if c.Value() != uint64(b.N+warmupIters) {
+		b.Fatalf("counter %d of %d", c.Value(), b.N+warmupIters)
+	}
+}
+
+// BenchObsHistogram measures Histogram.Observe across a spread of
+// values so every branch of the log-bucket index math is exercised.
+func BenchObsHistogram(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("bench_latency_ns", "bench", obs.L("site", "bench"))
+	for i := 0; i < warmupIters; i++ {
+		h.Observe(int64(i) << 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) << 7)
+	}
+	b.StopTimer()
+	if h.Count() != uint64(b.N+warmupIters) {
+		b.Fatalf("histogram %d of %d", h.Count(), b.N+warmupIters)
+	}
+}

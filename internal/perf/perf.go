@@ -19,6 +19,7 @@ import (
 
 	"tango/internal/addr"
 	"tango/internal/dataplane"
+	"tango/internal/obs"
 	"tango/internal/packet"
 	"tango/internal/simnet"
 )
@@ -87,6 +88,9 @@ func BenchEncap(b *testing.B) {
 		SrcPort:    40001,
 	}
 	sw.AddTunnel(tun)
+	// The gate measures the *instrumented* path: per-packet counter
+	// increments and latency observations must stay allocation-free.
+	sw.Instrument(obs.NewRegistry(), "bench")
 	inner := buildInner()
 	for i := 0; i < warmupIters; i++ {
 		sw.SendOnTunnel(tun, inner)
@@ -115,6 +119,10 @@ func BenchDecap(b *testing.B) {
 		LocalAddr:  mustAddr("2001:db8:2::1"), // remote's view
 		RemoteAddr: mustAddr("2001:db8:1::1"),
 	}
+	// Instrumented like BenchEncap: warmup covers the receive path's
+	// one-time lazy rx-counter registration, so the measured region is
+	// pure atomics.
+	sw.Instrument(obs.NewRegistry(), "bench")
 	outer := buildOuter(tun, buildInner())
 	n.AddAddr(tun.LocalAddr)
 	measured := 0

@@ -34,6 +34,17 @@ func TestLinkTraverseZeroAlloc(t *testing.T) {
 func TestSchedFireZeroAlloc(t *testing.T) { assertZeroAlloc(t, "BenchSchedFire", BenchSchedFire) }
 func TestCancelZeroAlloc(t *testing.T)    { assertZeroAlloc(t, "BenchCancel", BenchCancel) }
 
+// The telemetry instruments ride the same fast path (every encap bumps
+// counters and observes a latency histogram), so they get the same
+// teeth: a registered instrument's hot ops must never allocate.
+
+func TestObsCounterZeroAlloc(t *testing.T) {
+	assertZeroAlloc(t, "BenchObsCounter", BenchObsCounter)
+}
+func TestObsHistogramZeroAlloc(t *testing.T) {
+	assertZeroAlloc(t, "BenchObsHistogram", BenchObsHistogram)
+}
+
 // Wrappers so `go test -bench` in this package reports the same numbers
 // the assertions check.
 
@@ -44,3 +55,5 @@ func BenchmarkSchedFire(b *testing.B)     { BenchSchedFire(b) }
 func BenchmarkSchedFireHeap(b *testing.B) { BenchSchedFireHeap(b) }
 func BenchmarkCancel(b *testing.B)        { BenchCancel(b) }
 func BenchmarkCancelHeap(b *testing.B)    { BenchCancelHeap(b) }
+func BenchmarkObsCounter(b *testing.B)    { BenchObsCounter(b) }
+func BenchmarkObsHistogram(b *testing.B)  { BenchObsHistogram(b) }

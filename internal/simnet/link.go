@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tango/internal/obs"
 	"tango/internal/packet"
 	"tango/internal/sim"
 )
@@ -40,7 +41,33 @@ type Line struct {
 	OnAdminChange func(down bool)
 	OnLossChange  func(old, new float64)
 
+	// obsName/obsDrop/journal are set by Instrument; the drop counter
+	// and journal methods are nil-safe, so uninstrumented lines pay
+	// nothing on the packet path.
+	obsName string
+	obsDrop *obs.Counter
+	journal *obs.Journal
+
 	Stats LineStats
+}
+
+// Instrument wires the line's drop accounting to an observability
+// counter and, optionally, a trace journal: every packet refused at
+// admission (administratively down or queue overflow) increments the
+// counter and appends a queue_drop record named after the line.
+func (l *Line) Instrument(name string, drop *obs.Counter, j *obs.Journal) {
+	l.obsName = name
+	l.obsDrop = drop
+	l.journal = j
+}
+
+// recordDrop accounts one admission drop to the instruments.
+func (l *Line) recordDrop(size int) {
+	if l.obsDrop == nil && l.journal == nil {
+		return
+	}
+	l.obsDrop.Inc()
+	l.journal.Record(l.from.node.net.Eng.Now(), obs.KindQueueDrop, 0, 0, int64(size), l.obsName)
 }
 
 // Shaper returns the mutable delay shaper for this direction; scenario
@@ -88,6 +115,7 @@ func (l *Line) send(pb *packet.Buf) {
 	eng := l.from.node.net.Eng
 	if l.down {
 		l.Stats.Dropped++
+		l.recordDrop(pb.Len())
 		pb.Release()
 		return
 	}
@@ -98,6 +126,7 @@ func (l *Line) send(pb *packet.Buf) {
 	// (the chaos conservation invariant depends on it).
 	if l.bandwidthBps > 0 && l.queueLimit > 0 && l.busyUntil > now && l.queued >= l.queueLimit {
 		l.Stats.Dropped++
+		l.recordDrop(size)
 		pb.Release()
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"tango/internal/control"
 	"tango/internal/core"
 	"tango/internal/events"
+	"tango/internal/obs"
 	"tango/internal/topo"
 )
 
@@ -159,6 +160,17 @@ func (m *Mesh) Establish() error {
 		return fmt.Errorf("tango: mesh establishment did not complete")
 	}
 	m.mesh = cm
+	return nil
+}
+
+// Instrument registers every member edge server's metrics in reg
+// (labelled "site->peer") and journals path switches to j. Call after
+// Establish.
+func (m *Mesh) Instrument(reg *obs.Registry, j *obs.Journal) error {
+	if m.mesh == nil {
+		return fmt.Errorf("tango: Instrument before Establish")
+	}
+	m.mesh.Instrument(reg, j)
 	return nil
 }
 

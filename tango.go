@@ -40,6 +40,7 @@ import (
 	"tango/internal/control"
 	"tango/internal/core"
 	"tango/internal/events"
+	"tango/internal/obs"
 	"tango/internal/simnet"
 	"tango/internal/topo"
 )
@@ -156,6 +157,32 @@ func (l *Lab) Establish() error {
 	l.pair = p
 	l.ny = &Site{lab: l, site: p.A}
 	l.la = &Site{lab: l, site: p.B}
+	return nil
+}
+
+// Instrument registers the deployment's metrics in reg — both sites'
+// switches, monitors and controllers plus per-provider trunk-line drop
+// counters — and journals structured events (path switches, queue drops)
+// to j. Call after Establish. Either argument may be used alone by
+// passing the other as a fresh value; both are typically served with
+// obs.Handler.
+func (l *Lab) Instrument(reg *obs.Registry, j *obs.Journal) error {
+	if l.pair == nil {
+		return fmt.Errorf("tango: Instrument before Establish")
+	}
+	l.pair.Instrument(reg, j)
+	for provider, line := range l.scenario.TrunkToLA {
+		name := provider + ":NY->LA"
+		line.Instrument(name, reg.Counter("tango_line_drops_total",
+			"Packets refused at line admission (down or queue overflow).",
+			obs.L("line", name)), j)
+	}
+	for provider, line := range l.scenario.TrunkToNY {
+		name := provider + ":LA->NY"
+		line.Instrument(name, reg.Counter("tango_line_drops_total",
+			"Packets refused at line admission (down or queue overflow).",
+			obs.L("line", name)), j)
+	}
 	return nil
 }
 
