@@ -9,12 +9,21 @@
 // Usage:
 //
 //	tango-bench [-out BENCH.json] [-full] [-check] [-parallel N]
+//	            [-shards N] [-e12] [-sites N]
 //	            [-history BENCH_HISTORY.json] [-compare FILE] [-tolerance 0.20]
 //
 // -check exits non-zero if any micro-benchmark allocates in steady state
 // or if the timing wheel loses its margin over the reference heap on the
 // schedule+fire micro, making both perf invariants enforceable outside
 // `go test` (CI runs `tango-bench -check` as its bench smoke job).
+//
+// -shards N runs a reduced E12 storm mesh on N shard workers as a smoke
+// test (its checks must pass for -check to succeed), and is recorded in
+// the report metadata; CI runs the {1, 4} matrix. -e12 times the full
+// 64-site / 10k-tunnel E12 at 1 worker vs. 8 and reports the speedup —
+// with -check, on a machine with 8+ CPUs, a speedup below 3x fails.
+// Every report records GOMAXPROCS so numbers stay comparable across
+// machines and shard counts.
 //
 // -history appends this run (git SHA, timestamp, full report) to a JSON
 // log so numbers accumulate across commits; pass -history ” to skip.
@@ -31,6 +40,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -67,12 +77,28 @@ type SuiteResult struct {
 	Speedup     float64 `json:"speedup"`
 }
 
-// Report is the BENCH.json schema.
+// ShardResult is the E12 scale entry: the same 64-site / 10k-tunnel
+// storm simulation timed at 1 shard worker vs. 8.
+type ShardResult struct {
+	Name       string  `json:"name"`
+	Sites      int     `json:"sites"`
+	Tunnels    int     `json:"tunnels"`
+	Workers1Ms float64 `json:"workers1_ms"`
+	Workers8Ms float64 `json:"workers8_ms"`
+	Speedup    float64 `json:"speedup"`
+	ChecksPass bool    `json:"checks_pass"`
+}
+
+// Report is the BENCH.json schema. GOMAXPROCS and Shards are recorded so
+// perf history stays comparable across machines and shard counts.
 type Report struct {
 	GoVersion   string             `json:"go_version,omitempty"`
+	GOMAXPROCS  int                `json:"gomaxprocs,omitempty"`
+	Shards      int                `json:"shards,omitempty"`
 	Micro       []MicroResult      `json:"micro"`
 	Experiments []ExperimentResult `json:"experiments,omitempty"`
 	Suite       *SuiteResult       `json:"suite,omitempty"`
+	Shard       *ShardResult       `json:"shard,omitempty"`
 }
 
 // HistoryEntry is one record in the BENCH_HISTORY.json append log.
@@ -97,6 +123,9 @@ func realMain() int {
 		full      = flag.Bool("full", false, "also time the full E2/E10 experiment reproductions")
 		check     = flag.Bool("check", false, "exit non-zero on per-op allocations or a lost wheel-vs-heap margin")
 		parallel  = flag.Int("parallel", 0, "also time the full suite serial vs. N workers (0 = skip)")
+		shards    = flag.Int("shards", 0, "also run a reduced E12 storm mesh on N shard workers as a smoke test (0 = skip)")
+		e12       = flag.Bool("e12", false, "also time the full E12 scale experiment at 1 shard worker vs. 8")
+		sites     = flag.Int("sites", 0, "override E12's site count for -shards/-e12 (0 = defaults: 12 smoke, 64 full)")
 		history   = flag.String("history", "BENCH_HISTORY.json", "append (sha, time, report) to this JSON log ('' = skip)")
 		compare   = flag.String("compare", "", "baseline report to diff against; regressions exit non-zero")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression for -compare")
@@ -118,7 +147,7 @@ func realMain() int {
 		{"ObsHistogram", perf.BenchObsHistogram},
 	}
 
-	rep := Report{GoVersion: runtime.Version()}
+	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Shards: *shards}
 	regressed := false
 	for _, m := range micro {
 		res := testing.Benchmark(m.fn)
@@ -169,6 +198,43 @@ func realMain() int {
 			})
 			fmt.Printf("%-16s %12.0f ms wall-clock  checks pass: %v\n",
 				d.name, float64(elapsed.Milliseconds()), res.Passed())
+		}
+	}
+
+	if *shards > 0 {
+		smokeSites := *sites
+		if smokeSites == 0 {
+			smokeSites = 12
+		}
+		start := time.Now()
+		res := experiments.E12ShardedStorm(experiments.Config{Seed: 1, Sites: smokeSites, Shards: *shards})
+		elapsed := time.Since(start)
+		rep.Experiments = append(rep.Experiments, ExperimentResult{
+			Name:        fmt.Sprintf("E12Smoke%dw", *shards),
+			WallClockMs: float64(elapsed.Nanoseconds()) / 1e6,
+			ChecksPass:  res.Passed(),
+		})
+		fmt.Printf("E12 smoke (%d sites, %d workers) %8.0f ms wall-clock  checks pass: %v\n",
+			smokeSites, *shards, float64(elapsed.Milliseconds()), res.Passed())
+		if !res.Passed() {
+			fmt.Fprintf(os.Stderr, "FAIL: E12 smoke checks failed at %d shard workers\n", *shards)
+			regressed = true
+		}
+	}
+
+	if *e12 {
+		sr := timeShardScale(*sites)
+		rep.Shard = sr
+		fmt.Printf("E12 (%d sites, %d tunnels)  1 worker %.0f ms, 8 workers %.0f ms: %.2fx  checks pass: %v\n",
+			sr.Sites, sr.Tunnels, sr.Workers1Ms, sr.Workers8Ms, sr.Speedup, sr.ChecksPass)
+		if !sr.ChecksPass {
+			fmt.Fprintln(os.Stderr, "FAIL: E12 checks failed")
+			regressed = true
+		}
+		if runtime.NumCPU() >= 8 && sr.Speedup < 3.0 {
+			fmt.Fprintf(os.Stderr, "FAIL: E12 speedup %.2fx at 8 workers is below the 3x bar on a %d-CPU machine\n",
+				sr.Speedup, runtime.NumCPU())
+			regressed = true
 		}
 	}
 
@@ -267,6 +333,40 @@ func timeSuite(workers int) *SuiteResult {
 		ParallelMs:  parallelMs,
 		Speedup:     serialMs / parallelMs,
 	}
+}
+
+// timeShardScale runs the full E12 scale experiment twice — 1 shard
+// worker, then 8 — and reports the wall clocks. The two runs simulate the
+// identical event sequence (the shard-invariance property), so the ratio
+// is a clean measure of the parallel engine.
+func timeShardScale(sites int) *ShardResult {
+	cfg := experiments.Config{Seed: 1, Sites: sites, Shards: 1}
+	start := time.Now()
+	one := experiments.E12ShardedStorm(cfg)
+	oneMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	cfg.Shards = 8
+	start = time.Now()
+	eight := experiments.E12ShardedStorm(cfg)
+	eightMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	sr := &ShardResult{
+		Name:       "E12ShardedStorm",
+		Workers1Ms: oneMs,
+		Workers8Ms: eightMs,
+		Speedup:    oneMs / eightMs,
+		ChecksPass: one.Passed() && eight.Passed(),
+	}
+	for _, row := range one.Rows {
+		if len(row) != 2 {
+			continue
+		}
+		switch row[0] {
+		case "sites":
+			sr.Sites, _ = strconv.Atoi(row[1])
+		case "tunnels":
+			sr.Tunnels, _ = strconv.Atoi(row[1])
+		}
+	}
+	return sr
 }
 
 // gitSHA identifies the commit the numbers belong to; "unknown" outside a

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	tango-lab [-run e1,e2,...|all] [-seed N] [-duration 2h] [-csv DIR]
-//	          [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
+//	          [-parallel N] [-shards N] [-sites N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints a table, the paper-vs-measured checks, and
 // optionally writes figure series as CSV files into -csv DIR. The
@@ -16,6 +17,14 @@
 // engine per goroutine (N <= 0 means one per CPU). Experiments are fully
 // isolated, so the reports are byte-identical to a serial run; output is
 // buffered and printed in experiment order once all results are in.
+//
+// -shards N runs the sharding-aware experiments (e2, e10, e11, e12) on a
+// partitioned network with N worker goroutines advancing the partitions
+// in lock-stepped epochs. The partition layout is fixed by topology and
+// seed, so any N produces the same report as -shards 1 — only wall-clock
+// time changes. e12, the 64-site / 10k-tunnel storm scale test, is not
+// part of 'all' (it runs minutes, not seconds); select it explicitly
+// with -run e12, and shrink it with -sites when smoke-testing.
 package main
 
 import (
@@ -48,6 +57,8 @@ func realMain() int {
 		duration   = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
 		csvDir     = flag.String("csv", "", "directory to write figure series CSVs into")
 		parallel   = flag.Int("parallel", 1, "run up to N experiments concurrently (<=0: one per CPU)")
+		shards     = flag.Int("shards", 0, "advance sharding-aware experiments on N workers (0 = classic single engine)")
+		sites      = flag.Int("sites", 0, "scale e12's wide mesh to N sites (0 = the full 64)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -81,7 +92,7 @@ func realMain() int {
 		}()
 	}
 
-	cfg := experiments.Config{Seed: *seed, Duration: *duration}
+	cfg := experiments.Config{Seed: *seed, Duration: *duration, Shards: *shards, Sites: *sites}
 	drivers := map[string]func(experiments.Config) *experiments.Result{
 		"e1":  experiments.E1PathDiscovery,
 		"e2":  experiments.E2OWDComparison,
@@ -94,6 +105,7 @@ func realMain() int {
 		"e9":  experiments.E9LossReorder,
 		"e10": experiments.E10MeshOverlay,
 		"e11": experiments.E11Failover,
+		"e12": experiments.E12ShardedStorm,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
 

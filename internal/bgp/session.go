@@ -185,7 +185,18 @@ func (s *Session) String() string {
 // consistent (customer on one side implies provider on the other).
 func Connect(a, b *Speaker, cfgA, cfgB SessionConfig) (*Session, *Session) {
 	if a.eng != b.eng {
-		panic("bgp: Connect across engines")
+		c := a.eng.Coord()
+		if c == nil || c != b.eng.Coord() {
+			panic("bgp: Connect across engines")
+		}
+		// A partition-crossing session is only sound under the conservative
+		// epoch scheme when its messages are in flight at least one
+		// lookahead (the partitioner folds session delays into its edge
+		// minimums, so this holds by construction — keep it loud anyway).
+		if la := c.Lookahead(); la > 0 && (cfgA.Delay < la || cfgB.Delay < la) {
+			panic(fmt.Sprintf("bgp: cross-partition session %s<->%s delay below lookahead %v",
+				a.Name, b.Name, la))
+		}
 	}
 	if (cfgA.Relation == RelCustomer) != (cfgB.Relation == RelProvider) ||
 		(cfgA.Relation == RelProvider) != (cfgB.Relation == RelCustomer) {
@@ -234,12 +245,19 @@ func (s *Session) sendMsg(m *Message) {
 		s.Stats.UpdatesSent++
 	}
 	peer := s.peer
-	s.speaker.eng.Schedule(s.cfg.Delay, func() {
-		if peer.blackholed || peer.state == StateDown {
-			return
-		}
-		peer.recvBytes(raw)
-	})
+	at := s.speaker.eng.Now() + sim.Time(s.cfg.Delay)
+	sim.CrossScheduleAt(s.speaker.eng, peer.speaker.eng, at, peer, raw)
+}
+
+// OnSimEvent implements sim.ArgHandler: the arrival of one serialized
+// message, fired on this side's engine. Receive-side gating (blackhole,
+// session down) happens here, at delivery time on the receiving
+// partition — never on the sender's goroutine.
+func (s *Session) OnSimEvent(arg any) {
+	if s.blackholed || s.state == StateDown {
+		return
+	}
+	s.recvBytes(arg.([]byte))
 }
 
 func (s *Session) recvBytes(raw []byte) {

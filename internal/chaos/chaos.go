@@ -72,6 +72,16 @@ type Engine struct {
 	log        []Entry
 	violations []Violation
 
+	// Sharded-network support: log entries produced on partition engines
+	// stage per partition (one writer each) and merge into log at epoch
+	// barriers in canonical (At, partition, append) order, so LogString
+	// stays byte-identical across worker counts. checksOn gates the
+	// barrier-hook check cadence (hooks cannot be unregistered).
+	logStage    [][]Entry
+	mergeHooked bool
+	checkHooked bool
+	checksOn    bool
+
 	// Instrumentation (nil when uninstrumented). The journal mirrors the
 	// event log: fault applies/reverts, withdrawals, and violations each
 	// append one virtual-time record, so seeded runs produce byte-identical
@@ -116,7 +126,17 @@ func (e *Engine) instrumentLine(name string, l *simnet.Line) {
 	drop := e.reg.Counter("tango_line_drops_total",
 		"Packets refused at line admission (down or queue overflow).",
 		obs.L("line", name))
-	l.Instrument(name, drop, e.journal)
+	l.Instrument(name, drop, e.journalFor(l.Eng()))
+}
+
+// journalFor returns the journal view an event running on eng may write:
+// the parent journal on a classic single-engine network, or eng's
+// partition shard view on a sharded one (merged at epoch barriers).
+func (e *Engine) journalFor(eng *sim.Engine) *obs.Journal {
+	if eng.Coord() != nil {
+		return e.journal.Shard(eng.Part())
+	}
+	return e.journal
 }
 
 // AddLine registers a line as a fault target under name.
@@ -165,37 +185,131 @@ func (e *Engine) Invariants() int { return len(e.invs) }
 
 // Schedule arms a fault: Apply fires at the fault's start instant and,
 // for a finite window, the returned revert runs when the window closes.
-// Both transitions are logged.
+// Both transitions are logged. On a sharded network the fault fires on
+// its target's partition engine (line faults mutate send-path state
+// owned by the line's source partition; withdrawals run on the
+// speaker's partition), so no cross-partition state is touched.
 func (e *Engine) Schedule(f Fault) {
 	at, dur := f.Window()
 	kind := obs.KindFaultApply
 	if _, isWithdraw := f.(Withdrawal); isWithdraw {
 		kind = obs.KindWithdraw
 	}
-	e.eng.ScheduleAt(at, func() {
+	owner := e.ownerEngine(f)
+	if c := owner.Coord(); c != nil {
+		e.ensureMergeHook(c)
+	}
+	owner.ScheduleAt(at, func() {
 		revert, err := f.Apply(e)
 		if err != nil {
-			e.logf("fault %s: %v", f.Label(), err)
+			e.logOn(owner, "fault %s: %v", f.Label(), err)
 			return
 		}
-		e.logf("apply %s", f.Label())
+		e.logOn(owner, "apply %s", f.Label())
 		e.obsApplied.Inc()
-		e.journal.Record(e.eng.Now(), kind, 0, 0, int64(dur), f.Label())
+		e.journalFor(owner).Record(owner.Now(), kind, 0, 0, int64(dur), f.Label())
 		if revert != nil && dur > 0 {
-			e.eng.Schedule(dur, func() {
+			owner.Schedule(dur, func() {
 				revert()
-				e.logf("revert %s", f.Label())
+				e.logOn(owner, "revert %s", f.Label())
 				e.obsRevert.Inc()
-				e.journal.Record(e.eng.Now(), obs.KindFaultRevert, 0, 0, 0, f.Label())
+				e.journalFor(owner).Record(owner.Now(), obs.KindFaultRevert, 0, 0, 0, f.Label())
 			})
 		}
 	})
 }
 
+// ownerEngine resolves the partition engine that owns a fault's target
+// state; unknown fault types fall back to the chaos engine's own engine.
+func (e *Engine) ownerEngine(f Fault) *sim.Engine {
+	lineOwner := func(name string) *sim.Engine {
+		if l := e.lines[name]; l != nil {
+			return l.Eng()
+		}
+		return e.eng
+	}
+	switch t := f.(type) {
+	case LinkDown:
+		return lineOwner(t.Target)
+	case LossBurst:
+		return lineOwner(t.Target)
+	case DelayShift:
+		return lineOwner(t.Target)
+	case DelaySwap:
+		return lineOwner(t.Target)
+	case Withdrawal:
+		if sp := e.speakers[t.Speaker]; sp != nil {
+			return sp.Engine()
+		}
+	}
+	return e.eng
+}
+
+// ensureMergeHook registers, once, the barrier hook that folds staged
+// per-partition log entries (and the journal's shard views) back into
+// the shared structures. Registered before any check hook, so checks at
+// a barrier observe a fully merged log.
+func (e *Engine) ensureMergeHook(c *sim.Coordinator) {
+	if e.mergeHooked {
+		return
+	}
+	e.mergeHooked = true
+	if e.logStage == nil {
+		e.logStage = make([][]Entry, c.NumParts())
+	}
+	c.AtBarrier(0, func(sim.Time) {
+		e.journal.MergeShards()
+		e.mergeStagedLog()
+	})
+}
+
+// mergeStagedLog drains per-partition staged entries into the shared log
+// in (At, partition, append order) order. Runs only at barriers (workers
+// quiesced).
+func (e *Engine) mergeStagedLog() {
+	type staged struct {
+		part int
+		en   Entry
+	}
+	var all []staged
+	for p := range e.logStage {
+		for _, en := range e.logStage[p] {
+			all = append(all, staged{p, en})
+		}
+		e.logStage[p] = e.logStage[p][:0]
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].en.At != all[j].en.At {
+			return all[i].en.At < all[j].en.At
+		}
+		return all[i].part < all[j].part
+	})
+	for _, s := range all {
+		e.log = append(e.log, s.en)
+	}
+}
+
 // StartChecks begins checking every registered invariant on a fixed
 // cadence. Checks run as ordinary events, so they observe the network
-// only at event boundaries — never mid-packet.
+// only at event boundaries — never mid-packet. On a sharded network the
+// cadence instead rides the coordinator's epoch barriers (workers
+// quiesced, cross traffic drained — the only instants where global
+// invariants like buffer balance are well defined); the cadence is then
+// fixed by the first StartChecks call.
 func (e *Engine) StartChecks(every time.Duration) {
+	if c := e.eng.Coord(); c != nil {
+		e.checksOn = true
+		if !e.checkHooked {
+			e.checkHooked = true
+			e.ensureMergeHook(c)
+			c.AtBarrier(every, func(now sim.Time) {
+				if e.checksOn {
+					e.runChecks(now)
+				}
+			})
+		}
+		return
+	}
 	if e.tick != nil {
 		e.tick.Stop()
 	}
@@ -204,6 +318,7 @@ func (e *Engine) StartChecks(every time.Duration) {
 
 // StopChecks halts the check cadence.
 func (e *Engine) StopChecks() {
+	e.checksOn = false
 	if e.tick != nil {
 		e.tick.Stop()
 	}
@@ -212,12 +327,15 @@ func (e *Engine) StopChecks() {
 // CheckNow runs every invariant once at the current instant.
 func (e *Engine) CheckNow() { e.runChecks(e.eng.Now()) }
 
+// runChecks is always single-threaded: a ticker event on the classic
+// path, a barrier hook on the sharded path, or CheckNow between runs —
+// so it appends to the shared log and parent journal directly.
 func (e *Engine) runChecks(now sim.Time) {
 	for _, inv := range e.invs {
 		if err := inv.Check(now); err != nil {
 			v := Violation{At: now, Invariant: inv.Name(), Err: err.Error()}
 			e.violations = append(e.violations, v)
-			e.logf("VIOLATION %s: %s", inv.Name(), err)
+			e.log = append(e.log, Entry{At: now, Msg: fmt.Sprintf("VIOLATION %s: %s", inv.Name(), err)})
 			e.obsViol.Inc()
 			e.journal.Record(now, obs.KindViolation, 0, 0, 0, inv.Name())
 		}
@@ -240,6 +358,15 @@ func (e *Engine) LogString() string {
 	return b.String()
 }
 
-func (e *Engine) logf(format string, args ...any) {
-	e.log = append(e.log, Entry{At: e.eng.Now(), Msg: fmt.Sprintf(format, args...)})
+// logOn appends a log entry timestamped by eng's clock. On a sharded
+// network the entry stages in eng's partition slot (events on distinct
+// partitions run concurrently) and merges at the next barrier.
+func (e *Engine) logOn(eng *sim.Engine, format string, args ...any) {
+	en := Entry{At: eng.Now(), Msg: fmt.Sprintf(format, args...)}
+	if eng.Coord() != nil {
+		p := eng.Part()
+		e.logStage[p] = append(e.logStage[p], en)
+		return
+	}
+	e.log = append(e.log, en)
 }

@@ -20,6 +20,7 @@ import (
 	"tango/internal/dataplane"
 	"tango/internal/obs"
 	"tango/internal/sim"
+	"tango/internal/simnet"
 	"tango/internal/topo"
 	"tango/internal/workload"
 )
@@ -49,6 +50,10 @@ type PairConfig struct {
 	// RoundWait is the discovery per-round convergence wait (default
 	// 2 min virtual).
 	RoundWait time.Duration
+	// MaxRounds bounds discovery rounds per direction, and with them the
+	// number of paths a pair can expose (control.Discoverer defaults
+	// to 8; deployments sharing more providers must raise it).
+	MaxRounds int
 	// SettleWait is the wait after originating pinned prefixes
 	// (default 3 min virtual).
 	SettleWait time.Duration
@@ -129,6 +134,11 @@ func (s *Site) PinnedPrefix(id uint8) (addr.Prefix, error) {
 // Peer returns the other site.
 func (s *Site) Peer() *Site { return s.peer }
 
+// Eng returns the engine the site's events run on: its partition's
+// engine on a sharded network, the network engine otherwise. Workloads
+// that emit at this site (generators, probers) must tick here.
+func (s *Site) Eng() *sim.Engine { return s.Spec.Edge.Speaker.Engine() }
+
 // Instrument registers the site's switch, monitor, and controller
 // metrics in reg under the site's name and journals its path switches
 // to j.
@@ -136,7 +146,18 @@ func (s *Site) Instrument(reg *obs.Registry, j *obs.Journal) {
 	name := s.Spec.Name
 	s.Switch.Instrument(reg, name)
 	s.Monitor.Instrument(reg, name)
-	s.Controller.Instrument(reg, j, name)
+	s.Controller.Instrument(reg, shardView(j, s), name)
+}
+
+// shardView returns the journal view a site's controller may write: the
+// site partition's staging view on a sharded network (merged into j at
+// epoch barriers, in canonical order), or j itself on a classic one.
+func shardView(j *obs.Journal, s *Site) *obs.Journal {
+	eng := s.Spec.Edge.Speaker.Engine()
+	if eng.Coord() != nil {
+		return j.Shard(eng.Part())
+	}
+	return j
 }
 
 // Pair is a Tango deployment between two sites.
@@ -144,7 +165,8 @@ type Pair struct {
 	A, B *Site
 
 	cfg   PairConfig
-	eng   *sim.Engine
+	eng   *sim.Engine     // site A's engine; establishment sequencing runs here
+	net   *simnet.Network // drives time (dispatches to the coordinator when sharded)
 	ready bool
 	// OnReady fires once both directions are provisioned.
 	OnReady func()
@@ -163,9 +185,12 @@ func (p *Pair) Instrument(reg *obs.Registry, j *obs.Journal) {
 }
 
 // NewPair prepares (but does not start) a deployment. Both sites must
-// live on the same engine.
+// live on the same engine, or on partition engines of one coordinator
+// (establishment then runs in coupled mode, where cross-site calls are
+// exact).
 func NewPair(cfg PairConfig) *Pair {
-	if cfg.A.Edge.Speaker.Engine() != cfg.B.Edge.Speaker.Engine() {
+	ea, eb := cfg.A.Edge.Speaker.Engine(), cfg.B.Edge.Speaker.Engine()
+	if ea != eb && (ea.Coord() == nil || ea.Coord() != eb.Coord()) {
 		panic("core: sites on different engines")
 	}
 	if cfg.RoundWait == 0 {
@@ -188,7 +213,7 @@ func NewPair(cfg PairConfig) *Pair {
 			return topo.ProviderNameForPath(bgp.Path{a, bgp.ASVultr})
 		}
 	}
-	p := &Pair{cfg: cfg, eng: cfg.A.Edge.Speaker.Engine()}
+	p := &Pair{cfg: cfg, eng: ea, net: cfg.A.Edge.Node.Network()}
 	p.A = newSite(cfg.A)
 	p.B = newSite(cfg.B)
 	p.A.peer, p.B.peer = p.B, p.A
@@ -253,6 +278,7 @@ func (p *Pair) Establish() {
 		POPAS:     p.B.Spec.POPAS,
 		NameFor:   p.cfg.NameFor,
 		RoundWait: p.cfg.RoundWait,
+		MaxRounds: p.cfg.MaxRounds,
 	}
 	dBA := &control.Discoverer{
 		Announcer: p.A.Spec.Edge.Speaker,
@@ -261,6 +287,7 @@ func (p *Pair) Establish() {
 		POPAS:     p.A.Spec.POPAS,
 		NameFor:   p.cfg.NameFor,
 		RoundWait: p.cfg.RoundWait,
+		MaxRounds: p.cfg.MaxRounds,
 	}
 	dAB.Run(func(found []control.DiscoveredPath) { pathsAtoB = found; finish() })
 	dBA.Run(func(found []control.DiscoveredPath) { pathsBtoA = found; finish() })
@@ -341,7 +368,7 @@ func wireSiteMeasurement(eng *sim.Engine, s *Site, mc measureConfig) {
 func (p *Pair) wireMeasurement() {
 	cfgPolicies := map[*Site]control.Policy{p.A: p.cfg.PolicyA, p.B: p.cfg.PolicyB}
 	for _, s := range []*Site{p.A, p.B} {
-		wireSiteMeasurement(p.eng, s, measureConfig{
+		wireSiteMeasurement(s.Spec.Edge.Speaker.Engine(), s, measureConfig{
 			Policy:         cfgPolicies[s],
 			ReportInterval: p.cfg.ReportInterval,
 			DecideEvery:    p.cfg.DecideEvery,
@@ -352,21 +379,22 @@ func (p *Pair) wireMeasurement() {
 	if p.cfg.ProbeInterval > 0 {
 		aHost, _ := p.A.Spec.HostPrefix.Host(0xfffd)
 		bHost, _ := p.B.Spec.HostPrefix.Host(0xfffd)
-		p.A.Prober = workload.NewProber(p.eng, p.A.Switch, aHost, bHost, p.cfg.ProbeInterval)
-		p.B.Prober = workload.NewProber(p.eng, p.B.Switch, bHost, aHost, p.cfg.ProbeInterval)
+		p.A.Prober = workload.NewProber(p.A.Spec.Edge.Speaker.Engine(), p.A.Switch, aHost, bHost, p.cfg.ProbeInterval)
+		p.B.Prober = workload.NewProber(p.B.Spec.Edge.Speaker.Engine(), p.B.Switch, bHost, aHost, p.cfg.ProbeInterval)
 	}
 }
 
-// RunUntilReady drives the engine until establishment completes or the
-// deadline passes, reporting success.
+// RunUntilReady drives the simulation until establishment completes or
+// the deadline passes, reporting success. On a sharded network time is
+// driven through the coordinator (never an individual partition engine).
 func (p *Pair) RunUntilReady(maxVirtual time.Duration) bool {
-	deadline := p.eng.Now() + maxVirtual
-	for !p.ready && p.eng.Now() < deadline {
+	deadline := p.net.Now() + maxVirtual
+	for !p.ready && p.net.Now() < deadline {
 		step := 10 * time.Second
-		if remaining := deadline - p.eng.Now(); remaining < step {
+		if remaining := deadline - p.net.Now(); remaining < step {
 			step = remaining
 		}
-		p.eng.Run(p.eng.Now() + step)
+		p.net.Run(p.net.Now() + step)
 	}
 	return p.ready
 }

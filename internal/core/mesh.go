@@ -12,6 +12,7 @@ import (
 	"tango/internal/obs"
 	"tango/internal/packet"
 	"tango/internal/sim"
+	"tango/internal/simnet"
 	"tango/internal/topo"
 )
 
@@ -44,6 +45,7 @@ type MeshConfig struct {
 	// RoundWait/SettleWait/ProbeInterval/ReportInterval/DecideEvery are
 	// passed through to each pair (see PairConfig).
 	RoundWait      time.Duration
+	MaxRounds      int
 	SettleWait     time.Duration
 	ProbeInterval  time.Duration
 	ReportInterval time.Duration
@@ -73,7 +75,8 @@ type Mesh struct {
 	Table *control.CompositeTable
 
 	cfg     MeshConfig
-	eng     *sim.Engine
+	eng     *sim.Engine     // first link's A-side engine (time reads)
+	net     *simnet.Network // drives time (dispatches to the coordinator when sharded)
 	pairs   []*Pair
 	members map[string]map[string]*Site // members[site][peer]
 	relays  map[string]*dataplane.Relay // one per site, attached to all members
@@ -109,12 +112,17 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		if m.members[l.SiteA][l.SiteB] != nil || m.members[l.SiteB][l.SiteA] != nil {
 			return nil, fmt.Errorf("core: duplicate link %s:%s", l.SiteA, l.SiteB)
 		}
-		if l.A.Edge.Speaker.Engine() != eng || l.B.Edge.Speaker.Engine() != eng {
+		ea, eb := l.A.Edge.Speaker.Engine(), l.B.Edge.Speaker.Engine()
+		sameTimeline := func(e *sim.Engine) bool {
+			return e == eng || (e.Coord() != nil && e.Coord() == eng.Coord())
+		}
+		if !sameTimeline(ea) || !sameTimeline(eb) {
 			return nil, fmt.Errorf("core: link %s:%s on a different engine", l.SiteA, l.SiteB)
 		}
 		pc := PairConfig{
 			A: l.A, B: l.B,
 			RoundWait:      cfg.RoundWait,
+			MaxRounds:      cfg.MaxRounds,
 			SettleWait:     cfg.SettleWait,
 			ProbeInterval:  cfg.ProbeInterval,
 			ReportInterval: cfg.ReportInterval,
@@ -134,6 +142,7 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		m.Table.AddLink(l.SiteA, l.SiteB)
 	}
 	m.eng = eng
+	m.net = cfg.Links[0].A.Edge.Node.Network()
 
 	// One relay per site, attached to every member switch: a relayed
 	// packet arrives at whichever member terminates the previous segment
@@ -174,7 +183,7 @@ func (m *Mesh) Instrument(reg *obs.Registry, j *obs.Journal) {
 			name := site + "->" + peer
 			s.Switch.Instrument(reg, name)
 			s.Monitor.Instrument(reg, name)
-			s.Controller.Instrument(reg, j, name)
+			s.Controller.Instrument(reg, shardView(j, s), name)
 		}
 	}
 }
@@ -213,16 +222,19 @@ func (m *Mesh) Establish() {
 	}
 }
 
-// RunUntilReady drives the engine until establishment completes or the
-// deadline passes, reporting success.
+// RunUntilReady drives the simulation until establishment completes or
+// the deadline passes, reporting success. On a sharded network time is
+// driven through the coordinator (never an individual partition engine);
+// establishment always runs in coupled mode, where the cross-site calls
+// of discovery and provisioning are exact.
 func (m *Mesh) RunUntilReady(maxVirtual time.Duration) bool {
-	deadline := m.eng.Now() + maxVirtual
-	for !m.ready && m.eng.Now() < deadline {
+	deadline := m.net.Now() + maxVirtual
+	for !m.ready && m.net.Now() < deadline {
 		step := 10 * time.Second
-		if remaining := deadline - m.eng.Now(); remaining < step {
+		if remaining := deadline - m.net.Now(); remaining < step {
 			step = remaining
 		}
-		m.eng.Run(m.eng.Now() + step)
+		m.net.Run(m.net.Now() + step)
 	}
 	return m.ready
 }

@@ -242,7 +242,7 @@ func NewSwitch(node *simnet.Node) *Switch {
 		node:      node,
 		clock:     node.Clock(),
 		tunnelIDs: make(map[uint8]*Tunnel),
-		pool:      node.Network().BufPool(),
+		pool:      node.Pool(),
 	}
 	s.DeliverLocal = func(inner []byte) {} // dropped unless the site wires a host side
 	node.SetHandler(s.handle)

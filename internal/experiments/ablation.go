@@ -36,7 +36,7 @@ func AblationCadence(cfg Config, cadence time.Duration) AblationCadenceResult {
 		At:       eventAt,
 		Duration: 5 * time.Minute,
 		Delta:    5 * time.Millisecond,
-	}).Schedule(l.S.B.Eng())
+	}).Schedule(l.S.TrunkToLA["GTT"].Eng())
 
 	// Track the true OWD of whatever path currently carries traffic by
 	// sampling the controller's choice against the per-path monitors.
@@ -82,7 +82,7 @@ func AblationHysteresis(cfg Config, marginMs float64) AblationHysteresisResult {
 		SpikeCap:       46 * time.Millisecond,
 		MinorExtraMean: 2 * time.Millisecond,
 		MinorExtraStd:  1500 * time.Microsecond,
-	}).Schedule(l.S.B.Eng())
+	}).Schedule(l.S.TrunkToLA["GTT"].Eng())
 
 	var acc measure.Welford
 	ctl := l.Pair.A.Controller
@@ -152,7 +152,7 @@ func AblationProbeRate(cfg Config, interval time.Duration) AblationProbeRateResu
 		Duration:        5 * time.Minute,
 		Delta:           5 * time.Millisecond,
 		EdgeInstability: time.Second, // sharp edge: isolate detection delay
-	}).Schedule(l.S.B.Eng())
+	}).Schedule(l.S.TrunkToLA["GTT"].Eng())
 
 	// Detection = first moment the post-event optimum (Telia) carries
 	// the traffic. Zero means the controller never adapted within the

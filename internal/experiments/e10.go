@@ -23,7 +23,9 @@ import (
 func E10MeshOverlay(cfg Config) *Result {
 	r := newResult("E10", "Mesh overlay routes around a shared-provider incident (§6)")
 
-	s, err := topo.NewTriScenario(cfg.Seed + 10)
+	tc := topo.TriConfig(cfg.Seed + 10)
+	tc.Shards = cfg.Shards
+	s, err := topo.NewMeshScenario(tc)
 	if err != nil {
 		panic(err) // fixed config; cannot fail
 	}
@@ -41,7 +43,9 @@ func E10MeshOverlay(cfg Config) *Result {
 		panic("experiments: mesh failed to establish")
 	}
 	reg := obs.NewRegistry()
-	m.Instrument(reg, obs.NewJournal(1024))
+	journal := obs.NewJournal(1024)
+	shardHooks(s.B.Eng(), journal)
+	m.Instrument(reg, journal)
 
 	// The motivating asymmetry: the direct pair has no path diversity.
 	direct := m.Member("ny", "la")
@@ -61,9 +65,13 @@ func E10MeshOverlay(cfg Config) *Result {
 		haveRelay, "routes: %v", routes)
 
 	// Ground-truth latency per route: stamped app packets down both
-	// routes, fates recorded at LA in engine time.
+	// routes, fates recorded at LA in engine time. The sink runs on LA's
+	// partition engine, so it reads LA's clock; the bookkeeping maps are
+	// written by this goroutine only between runs and by LA's events only
+	// during runs, so they never see concurrent writers.
 	const dport = 9700
 	eng := s.B.Eng()
+	laEng := m.Member("la", "ny").Eng()
 	sentAt := map[uint32]time.Duration{}
 	viaRelay := map[uint32]bool{}
 	type win struct {
@@ -82,7 +90,7 @@ func E10MeshOverlay(cfg Config) *Result {
 			return false
 		}
 		delete(sentAt, seq)
-		lat := time.Duration(eng.Now()) - t0
+		lat := time.Duration(laEng.Now()) - t0
 		if viaRelay[seq] {
 			relayW.sum += lat
 			relayW.n++
@@ -93,6 +101,7 @@ func E10MeshOverlay(cfg Config) *Result {
 		delete(viaRelay, seq)
 		return true
 	})
+	enterParallel(eng)
 	var seq uint32
 	sample := func(dur time.Duration) (directMs, relayMs float64, best control.CompositeRoute) {
 		directW, relayW = win{}, win{}
@@ -125,7 +134,7 @@ func E10MeshOverlay(cfg Config) *Result {
 		Duration: window + 2*time.Minute,
 		Delta:    shift,
 	}
-	ev.Schedule(eng)
+	ev.Schedule(ev.Line.Eng())
 	s.Run(90 * time.Second) // shift lands and estimates settle
 	dDuring, rDuring, bestDuring := sample(window)
 	s.Run(3 * time.Minute) // shift reverts and estimates settle
@@ -162,6 +171,7 @@ func E10MeshOverlay(cfg Config) *Result {
 		"offset is identical for both ny->la routes, so the comparison is exact")
 	r.VirtualTime = time.Duration(eng.Now())
 	r.Metrics = deterministicSnapshot(reg)
+	r.Trace = traceJSON(journal)
 	return r
 }
 

@@ -29,7 +29,9 @@ import (
 func E11Failover(cfg Config) *Result {
 	r := newResult("E11", "Failover: link flap and BGP withdrawal mid-stream (§5/§6)")
 
-	s, err := topo.NewTriScenario(cfg.Seed + 11)
+	tc := topo.TriConfig(cfg.Seed + 11)
+	tc.Shards = cfg.Shards
+	s, err := topo.NewMeshScenario(tc)
 	if err != nil {
 		panic(err) // fixed config; cannot fail
 	}
@@ -62,6 +64,7 @@ func E11Failover(cfg Config) *Result {
 	eng := s.B.Eng()
 	reg := obs.NewRegistry()
 	journal := obs.NewJournal(1024)
+	shardHooks(eng, journal)
 	m.Instrument(reg, journal)
 
 	sender := m.Member("ny", "chi")
@@ -79,7 +82,11 @@ func E11Failover(cfg Config) *Result {
 	if err != nil {
 		panic(err)
 	}
-	gen := workload.NewAppGen(eng, sender.Switch, src, dst, 5*time.Millisecond, 64)
+	// The generator ticks on the sending site's engine and stages
+	// arrivals on the receiving site's — on a sharded network those are
+	// different partitions (identical engines on a classic one).
+	gen := workload.NewAppGen(sender.Eng(), sender.Switch, src, dst, 5*time.Millisecond, 64)
+	gen.BindSink(recv.Eng())
 	recv.AddSink(gen.Sink)
 
 	// Chaos engine: every provider trunk is a named fault target, plus
@@ -141,6 +148,9 @@ func E11Failover(cfg Config) *Result {
 	window := cfg.dur(30 * time.Second)
 	const faultFor = 45 * time.Second
 	const lead = 2 * time.Second
+
+	// Wiring is done; a sharded run flips to parallel epochs here.
+	enterParallel(eng)
 
 	// Baseline.
 	t0 := eng.Now()
@@ -256,6 +266,7 @@ func E11Failover(cfg Config) *Result {
 		reportAge, staleAfter)
 	r.VirtualTime = time.Duration(eng.Now())
 	r.Metrics = deterministicSnapshot(reg)
+	r.Trace = traceJSON(journal)
 	return r
 }
 

@@ -37,6 +37,7 @@ func E2OWDComparison(cfg Config) *Result {
 	r := newResult("E2", "One-way delay across paths; default vs best (Fig. 4 left, §5)")
 	l := newLab(labOpts{
 		seed:          cfg.Seed,
+		shards:        cfg.Shards,
 		probeInterval: cfg.probe(),
 		recordBucket:  10 * time.Second,
 	})
@@ -86,6 +87,7 @@ func E2OWDComparison(cfg Config) *Result {
 	}
 	r.note("raw OWDs carry the inter-switch clock offset (%.0f ms NY->LA); table values are offset-corrected using ground truth the deployment itself does not need", ms(l.offNYtoLA))
 	l.snapshot(r)
+	r.Trace = traceJSON(l.J)
 	return r
 }
 

@@ -34,7 +34,7 @@ func E4RouteChange(cfg Config) *Result {
 		Duration: eventDur,
 		Delta:    5 * time.Millisecond,
 	}
-	shift.Schedule(l.S.B.Eng())
+	shift.Schedule(shift.Line.Eng())
 
 	var switches []string
 	nyCtl := l.Pair.A.Controller
@@ -125,7 +125,7 @@ func E5Instability(cfg Config) *Result {
 		MinorExtraMean: time.Millisecond,
 		MinorExtraStd:  1500 * time.Microsecond,
 	}
-	inst.Schedule(l.S.B.Eng())
+	inst.Schedule(inst.Line.Eng())
 
 	total := lead + eventDur + 5*time.Minute
 	l.run(total)

@@ -42,6 +42,15 @@ type Result struct {
 	// "name{labels}" (histograms contribute _count and _sum entries).
 	// tango-lab writes it as <id>_metrics.json next to the CSV series.
 	Metrics map[string]float64
+	// Trace is the deployment's final trace journal rendered as JSON
+	// (empty for experiments without a journal). Seeded runs produce it
+	// byte-identically; the shard-invariance differential compares it
+	// across worker counts.
+	Trace string
+	// Err records a driver panic recovered by RunJobs: the run died
+	// before producing checks, and the message says why. A non-empty
+	// Err fails Passed regardless of the (absent) checks.
+	Err string
 }
 
 func newResult(id, title string) *Result {
@@ -61,8 +70,11 @@ func (r *Result) note(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
-// Passed reports whether every check passed.
+// Passed reports whether every check passed and the run did not die.
 func (r *Result) Passed() bool {
+	if r.Err != "" {
+		return false
+	}
 	for _, c := range r.Checks {
 		if !c.Pass {
 			return false
@@ -74,6 +86,9 @@ func (r *Result) Passed() bool {
 // WriteText renders the result for a terminal.
 func (r *Result) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s (virtual time %v)\n", r.ID, r.Title, r.VirtualTime)
+	if r.Err != "" {
+		fmt.Fprintf(w, "   [FAIL] driver panicked: %s\n", r.Err)
+	}
 	if len(r.Rows) > 0 {
 		widths := make([]int, len(r.Rows[0]))
 		for _, row := range r.Rows {
@@ -126,6 +141,18 @@ type Config struct {
 	Duration time.Duration
 	// ProbeInterval defaults to the paper's 10 ms.
 	ProbeInterval time.Duration
+	// Shards, when positive, runs the experiment on a sharded network
+	// with that many worker goroutines (see topo.MeshConfig.Shards).
+	// The partition layout depends only on the topology and seed, so any
+	// two positive values produce identical Results and trace journals —
+	// the shard-invariance differential test pins exactly that. Zero
+	// keeps the classic single-engine path. E2, E10, E11, and E12 honor
+	// the knob; the remaining experiments ignore it.
+	Shards int
+	// Sites scales E12's wide mesh (0 = the full 64-site / 10k-tunnel
+	// deployment; CI smoke runs a fraction of that). Other experiments
+	// have fixed topologies and ignore it.
+	Sites int
 }
 
 func (c Config) probe() time.Duration {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -38,7 +39,7 @@ func RunJobs(jobs []Job, workers int) []*Result {
 	}
 	if workers <= 1 {
 		for i, j := range jobs {
-			results[i] = j.Run(j.Cfg)
+			results[i] = runJob(j)
 		}
 		return results
 	}
@@ -49,7 +50,7 @@ func RunJobs(jobs []Job, workers int) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = jobs[i].Run(jobs[i].Cfg)
+				results[i] = runJob(jobs[i])
 			}
 		}()
 	}
@@ -59,4 +60,22 @@ func RunJobs(jobs []Job, workers int) []*Result {
 	close(idx)
 	wg.Wait()
 	return results
+}
+
+// runJob shields the worker pool from a panicking driver: the panic
+// becomes the job's Result.Err (with the panic site for debugging)
+// instead of killing the process and every sibling job with it.
+func runJob(j Job) (r *Result) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			buf := make([]byte, 4096)
+			buf = buf[:runtime.Stack(buf, false)]
+			r = &Result{
+				ID:    j.ID,
+				Title: "driver panicked",
+				Err:   fmt.Sprintf("%v\n%s", rec, buf),
+			}
+		}
+	}()
+	return j.Run(j.Cfg)
 }

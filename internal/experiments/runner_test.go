@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -54,5 +55,32 @@ func TestRunJobsOrderAndWorkerClamp(t *testing.T) {
 	}
 	if res := RunJobs(nil, 4); len(res) != 0 {
 		t.Fatalf("empty jobs returned %d results", len(res))
+	}
+}
+
+func TestRunJobsRecoversPanics(t *testing.T) {
+	boom := func(Config) *Result { panic("driver exploded") }
+	ok := func(cfg Config) *Result { return newResult("OK", "fine") }
+	jobs := []Job{
+		{ID: "dead", Cfg: Config{}, Run: boom},
+		{ID: "alive", Cfg: Config{}, Run: ok},
+	}
+	// Both the inline (workers=1) and pooled paths must survive: the
+	// panic becomes the job's Result.Err, siblings run to completion.
+	for _, workers := range []int{1, 2} {
+		res := RunJobs(jobs, workers)
+		if len(res) != 2 {
+			t.Fatalf("workers=%d: got %d results", workers, len(res))
+		}
+		dead := res[0]
+		if dead == nil || dead.Err == "" || !strings.Contains(dead.Err, "driver exploded") {
+			t.Fatalf("workers=%d: panic not captured: %+v", workers, dead)
+		}
+		if dead.ID != "dead" || dead.Passed() {
+			t.Fatalf("workers=%d: dead job must carry its ID and fail Passed: %+v", workers, dead)
+		}
+		if res[1] == nil || res[1].ID != "OK" || !res[1].Passed() {
+			t.Fatalf("workers=%d: sibling job damaged: %+v", workers, res[1])
+		}
 	}
 }

@@ -30,6 +30,7 @@ type lab struct {
 
 type labOpts struct {
 	seed          int64
+	shards        int // 0 = classic single-engine network
 	probeInterval time.Duration
 	recordBucket  time.Duration
 	decideEvery   time.Duration
@@ -47,6 +48,7 @@ func newLab(o labOpts) *lab {
 	}
 	s, err := topo.NewVultrScenario(topo.ScenarioConfig{
 		Seed:          o.seed,
+		Shards:        o.shards,
 		ClockOffsetNY: o.clockNY,
 		ClockOffsetLA: o.clockLA,
 	})
@@ -67,7 +69,9 @@ func newLab(o labOpts) *lab {
 	}
 	reg := obs.NewRegistry()
 	j := obs.NewJournal(1024)
+	shardHooks(s.B.Eng(), j)
 	p.Instrument(reg, j)
+	enterParallel(s.B.Eng())
 	return &lab{
 		S:         s,
 		Pair:      p,

@@ -80,10 +80,25 @@ func (r *Rec) Target() string { return string(r.targ[:r.tlen]) }
 // Journal is a bounded ring of trace records. Record is zero-allocation
 // after construction; readers copy records out under the same mutex, so
 // a real-HTTP /trace tail can run while the simulation appends.
+//
+// In a sharded simulation every partition records into its own staging
+// view (see Shard), and the views are merged into the parent ring at
+// epoch barriers in a canonical order — virtual time, then partition,
+// then per-partition append order. Merge order therefore never depends on
+// goroutine scheduling, and the parent's WriteJSON output is byte-
+// identical across worker counts.
 type Journal struct {
 	mu   sync.Mutex
 	recs []Rec
 	next uint64 // total records ever appended
+
+	// parent is non-nil on a shard view; Record then stages into pending
+	// (single-writer: the partition's goroutine) instead of the ring.
+	// head is the merge cursor into pending, maintained by the parent.
+	parent  *Journal
+	pending []Rec
+	head    int
+	shards  []*Journal
 }
 
 // NewJournal returns a journal keeping the last capacity records
@@ -102,6 +117,18 @@ func (j *Journal) Record(at time.Duration, kind Kind, a, b uint8, v int64, targe
 	if j == nil {
 		return
 	}
+	if j.parent != nil {
+		// Shard view: stage without a lock (one writer per view) and
+		// without a Seq — the parent assigns sequence numbers at merge.
+		j.pending = append(j.pending, Rec{})
+		r := &j.pending[len(j.pending)-1]
+		r.At = at
+		r.Kind = kind
+		r.A, r.B = a, b
+		r.V = v
+		r.tlen = uint8(copy(r.targ[:], target))
+		return
+	}
 	j.mu.Lock()
 	r := &j.recs[j.next%uint64(len(j.recs))]
 	r.Seq = j.next
@@ -111,6 +138,68 @@ func (j *Journal) Record(at time.Duration, kind Kind, a, b uint8, v int64, targe
 	r.V = v
 	n := copy(r.targ[:], target)
 	r.tlen = uint8(n)
+	j.next++
+	j.mu.Unlock()
+}
+
+// Shard returns the staging view for one partition of a sharded
+// simulation, creating views up to part as needed. Components owned by
+// that partition record into the view from the partition's goroutine;
+// MergeShards folds everything back into this journal.
+func (j *Journal) Shard(part int) *Journal {
+	if j == nil {
+		return nil
+	}
+	if j.parent != nil {
+		panic("obs: Shard of a shard view")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.shards) <= part {
+		j.shards = append(j.shards, &Journal{parent: j})
+	}
+	return j.shards[part]
+}
+
+// MergeShards appends every staged shard record into the ring, ordered by
+// (virtual time, partition index, per-partition append order), and clears
+// the staging views. Call it single-threaded at epoch barriers; each
+// view's staging slice is already time-sorted because events fire in time
+// order within a partition.
+func (j *Journal) MergeShards() {
+	if j == nil || len(j.shards) == 0 {
+		return
+	}
+	for {
+		best := -1
+		var bestAt time.Duration
+		for p, s := range j.shards {
+			if s.head >= len(s.pending) {
+				continue
+			}
+			if best < 0 || s.pending[s.head].At < bestAt {
+				best, bestAt = p, s.pending[s.head].At
+			}
+		}
+		if best < 0 {
+			break
+		}
+		s := j.shards[best]
+		j.append(&s.pending[s.head])
+		s.head++
+	}
+	for _, s := range j.shards {
+		s.pending = s.pending[:0]
+		s.head = 0
+	}
+}
+
+// append copies one staged record into the ring, assigning its Seq.
+func (j *Journal) append(src *Rec) {
+	j.mu.Lock()
+	r := &j.recs[j.next%uint64(len(j.recs))]
+	*r = *src
+	r.Seq = j.next
 	j.next++
 	j.mu.Unlock()
 }

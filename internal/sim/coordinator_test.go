@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fireLog records (time, tag) pairs as events land; crossTag implements
+// ArgHandler so CrossScheduleAt can target it.
+type fireLog struct {
+	entries []string
+}
+
+type crossTag struct {
+	log *fireLog
+	eng *Engine
+}
+
+func (h *crossTag) OnSimEvent(arg any) {
+	h.log.entries = append(h.log.entries, fmt.Sprintf("t=%v %v", h.eng.Now(), arg))
+}
+
+// prepCounter wraps crossTag with a PrepareCross that stamps the payload,
+// so tests can assert it ran exactly once in every mode.
+type prepCounter struct {
+	crossTag
+	preps int
+}
+
+func (h *prepCounter) PrepareCross(arg any) any {
+	h.preps++
+	return fmt.Sprintf("prepped(%v)", arg)
+}
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatalf("no panic, want panic containing %q", want)
+		}
+	}()
+	fn()
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	mustPanic(t, "at least one partition", func() { NewCoordinator(0, time.Millisecond) })
+
+	c := NewCoordinator(2, time.Millisecond)
+	mustPanic(t, "finite horizon", func() { c.Run(Forever) })
+
+	// Mode switches and re-entrant Runs inside a callback must be loud:
+	// they would corrupt the epoch structure mid-flight.
+	c.Part(0).ScheduleAt(Time(time.Millisecond), func() {
+		mustPanic(t, "EnterParallel during Run", c.EnterParallel)
+		mustPanic(t, "EnterCoupled during Run", c.EnterCoupled)
+		mustPanic(t, "re-entrant", func() { c.Run(Time(time.Second)) })
+	})
+	c.Run(Time(10 * time.Millisecond))
+}
+
+func TestCoordinatorAccessors(t *testing.T) {
+	c := NewCoordinator(3, 5*time.Millisecond)
+	if c.NumParts() != 3 || c.Lookahead() != 5*time.Millisecond || c.Now() != 0 {
+		t.Fatalf("accessors: parts=%d lookahead=%v now=%v", c.NumParts(), c.Lookahead(), c.Now())
+	}
+	for i := 0; i < 3; i++ {
+		e := c.Part(i)
+		if e.Coord() != c || e.Part() != i {
+			t.Fatalf("partition %d engine not wired to coordinator", i)
+		}
+	}
+	if c.Workers() != 1 {
+		t.Fatalf("default workers %d, want 1", c.Workers())
+	}
+	c.SetWorkers(0)
+	if c.Workers() != 1 {
+		t.Fatalf("SetWorkers(0) gave %d, want clamp to 1", c.Workers())
+	}
+	c.SetWorkers(64)
+	if c.Workers() != 3 {
+		t.Fatalf("SetWorkers(64) gave %d, want clamp to 3 partitions", c.Workers())
+	}
+	if c.Parallel() {
+		t.Fatal("coordinator born parallel")
+	}
+	c.EnterParallel()
+	if !c.Parallel() {
+		t.Fatal("EnterParallel did not arm parallel mode")
+	}
+	c.EnterCoupled()
+	if c.Parallel() {
+		t.Fatal("EnterCoupled did not disarm parallel mode")
+	}
+
+	// The degenerate cases stay coupled: one partition, or no lookahead.
+	one := NewCoordinator(1, time.Millisecond)
+	one.EnterParallel()
+	if one.Parallel() {
+		t.Fatal("single partition must stay coupled")
+	}
+	flat := NewCoordinator(2, 0)
+	flat.EnterParallel()
+	if flat.Parallel() {
+		t.Fatal("zero lookahead must stay coupled")
+	}
+	flat.Run(Time(time.Millisecond)) // zero lookahead: one epoch for the whole span
+	if flat.Now() != Time(time.Millisecond) || flat.Stats.Epochs != 1 {
+		t.Fatalf("flat run: now=%v epochs=%d", flat.Now(), flat.Stats.Epochs)
+	}
+}
+
+func TestCoupledFiresGlobalTimeOrder(t *testing.T) {
+	c := NewCoordinator(2, 10*time.Millisecond)
+	log := &fireLog{}
+	// Interleave events across partitions; coupled mode must fire them in
+	// global time order with both clocks synchronized at each fire.
+	for i, at := range []time.Duration{5, 1, 9, 3} {
+		part, other := c.Part(i%2), c.Part((i+1)%2)
+		at := at * time.Millisecond
+		part.ScheduleAt(Time(at), func() {
+			if part.Now() != other.Now() {
+				t.Errorf("clocks diverged in coupled mode: %v vs %v", part.Now(), other.Now())
+			}
+			log.entries = append(log.entries, fmt.Sprintf("t=%v", part.Now()))
+		})
+	}
+	c.Run(Time(20 * time.Millisecond))
+	want := []string{"t=1ms", "t=3ms", "t=5ms", "t=9ms"}
+	if !reflect.DeepEqual(log.entries, want) {
+		t.Fatalf("fire order %v, want %v", log.entries, want)
+	}
+	if c.Now() != Time(20*time.Millisecond) {
+		t.Fatalf("now=%v, want 20ms", c.Now())
+	}
+	if c.Stats.Epochs != 2 {
+		t.Fatalf("20ms at 10ms lookahead: %d epochs, want 2", c.Stats.Epochs)
+	}
+}
+
+// pingPong builds a 2-partition workload where each partition fires a
+// local event every 3ms and cross-schedules a message to the other
+// partition lookahead later, then runs it and returns the merged logs.
+func pingPong(workers int, parallel bool) ([]string, uint64) {
+	const la = 10 * time.Millisecond
+	c := NewCoordinator(2, la)
+	c.SetWorkers(workers)
+	logs := [2]*fireLog{{}, {}}
+	tags := [2]*crossTag{}
+	for i := 0; i < 2; i++ {
+		tags[i] = &crossTag{log: logs[i], eng: c.Part(i)}
+	}
+	for i := 0; i < 2; i++ {
+		i := i
+		src := c.Part(i)
+		var tick func()
+		tick = func() {
+			logs[i].entries = append(logs[i].entries, fmt.Sprintf("t=%v local%d", src.Now(), i))
+			CrossScheduleAt(src, c.Part(1-i), src.Now()+Time(la), tags[1-i], fmt.Sprintf("from%d", i))
+			if src.Now() < Time(60*time.Millisecond) {
+				src.Schedule(3*time.Millisecond, tick)
+			}
+		}
+		src.ScheduleAt(Time(time.Millisecond), tick)
+	}
+	if parallel {
+		c.EnterParallel()
+	}
+	c.Run(Time(100 * time.Millisecond))
+	return append(append([]string{}, logs[0].entries...), logs[1].entries...), c.Stats.CrossMsg
+}
+
+func TestParallelInvariantToWorkersAndMode(t *testing.T) {
+	base, _ := pingPong(1, false) // coupled reference
+	for _, w := range []int{1, 2} {
+		got, cross := pingPong(w, true)
+		if cross == 0 {
+			t.Fatalf("workers=%d: no cross messages rode the outboxes", w)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d parallel diverged from coupled:\n%v\nvs\n%v", w, got, base)
+		}
+	}
+}
+
+func TestCrossPrepperRunsOnceBothModes(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		c := NewCoordinator(2, 10*time.Millisecond)
+		log := &fireLog{}
+		h := &prepCounter{crossTag: crossTag{log: log, eng: c.Part(1)}}
+		c.Part(0).ScheduleAt(Time(time.Millisecond), func() {
+			CrossScheduleAt(c.Part(0), c.Part(1), Time(15*time.Millisecond), h, "pkt")
+		})
+		if parallel {
+			c.EnterParallel()
+		}
+		c.Run(Time(30 * time.Millisecond))
+		if h.preps != 1 {
+			t.Errorf("parallel=%v: PrepareCross ran %d times, want 1", parallel, h.preps)
+		}
+		want := []string{"t=15ms prepped(pkt)"}
+		if !reflect.DeepEqual(log.entries, want) {
+			t.Errorf("parallel=%v: delivery %v, want %v", parallel, log.entries, want)
+		}
+	}
+}
+
+func TestCrossScheduleSameEngineIsDirect(t *testing.T) {
+	// Same-engine and coordinator-less sends degrade to a plain schedule
+	// (still running PrepareCross, preserving the payload contract).
+	e := NewEngine()
+	log := &fireLog{}
+	h := &prepCounter{crossTag: crossTag{log: log, eng: e}}
+	CrossScheduleAt(e, e, Time(2*time.Millisecond), h, "loop")
+	e.Run(Time(5 * time.Millisecond))
+	if h.preps != 1 || len(log.entries) != 1 {
+		t.Fatalf("same-engine cross: preps=%d fired=%v", h.preps, log.entries)
+	}
+}
+
+func TestBarrierHooks(t *testing.T) {
+	c := NewCoordinator(2, 5*time.Millisecond)
+	var every, periodic []Time
+	c.AtBarrier(0, func(now Time) { every = append(every, now) })
+	c.AtBarrier(7*time.Millisecond, func(now Time) { periodic = append(periodic, now) })
+	c.EnterParallel()
+	c.Run(Time(20 * time.Millisecond))
+
+	wantEvery := []Time{Time(5 * time.Millisecond), Time(10 * time.Millisecond), Time(15 * time.Millisecond), Time(20 * time.Millisecond)}
+	if !reflect.DeepEqual(every, wantEvery) {
+		t.Fatalf("every-barrier hook fired at %v, want %v", every, wantEvery)
+	}
+	// The periodic hook receives nominal tick instants, not barrier times.
+	wantTicks := []Time{Time(7 * time.Millisecond), Time(14 * time.Millisecond)}
+	if !reflect.DeepEqual(periodic, wantTicks) {
+		t.Fatalf("periodic hook fired at %v, want %v", periodic, wantTicks)
+	}
+}
+
+func TestLookaheadViolationPanics(t *testing.T) {
+	// A cross event scheduled before its destination's epoch end is a
+	// conservative-sync violation and must crash loudly at the drain.
+	c := NewCoordinator(2, 10*time.Millisecond)
+	log := &fireLog{}
+	h := &crossTag{log: log, eng: c.Part(1)}
+	c.Part(0).ScheduleAt(Time(time.Millisecond), func() {
+		CrossScheduleAt(c.Part(0), c.Part(1), Time(2*time.Millisecond), h, "too-soon")
+	})
+	c.EnterParallel()
+	mustPanic(t, "lookahead violation", func() { c.Run(Time(20 * time.Millisecond)) })
+}

@@ -86,6 +86,11 @@ type Engine struct {
 	free    *Event // freelist to avoid per-event allocation in long runs
 	nfree   int
 
+	// coord/part are set when the engine is one partition of a sharded
+	// simulation (see coordinator.go); standalone engines leave them zero.
+	coord *Coordinator
+	part  int
+
 	// Stats counts engine activity; useful in tests and benchmarks.
 	Stats struct {
 		Scheduled uint64
@@ -102,6 +107,22 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Coord returns the coordinator this engine is a partition of, or nil for
+// a standalone engine.
+func (e *Engine) Coord() *Coordinator { return e.coord }
+
+// Part returns the engine's partition index (0 for standalone engines).
+func (e *Engine) Part() int { return e.part }
+
+// advanceTo moves the clock forward to t without firing anything. Only
+// the coordinator calls it, and only when it has proven no event earlier
+// than t is pending on this engine.
+func (e *Engine) advanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
 
 // Schedule runs fn after delay d of virtual time. A negative delay is
 // treated as zero (fn runs at the current instant, after already-queued

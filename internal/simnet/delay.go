@@ -28,11 +28,24 @@ type DelayModel interface {
 	Sample(now sim.Time, rng *sim.RNG) time.Duration
 }
 
+// MinDelayer is implemented by delay models with a known propagation
+// floor. The sharded simulation requires it on cross-partition links: the
+// floor proves no packet can cross a partition boundary faster than the
+// coordinator's lookahead. Runtime mutations (shaper offsets, chaos delay
+// shifts) only ever add delay, so the construction-time floor stays a
+// valid lower bound for the whole run.
+type MinDelayer interface {
+	MinDelay() time.Duration
+}
+
 // FixedDelay is a constant propagation delay.
 type FixedDelay time.Duration
 
 // Sample implements DelayModel.
 func (d FixedDelay) Sample(sim.Time, *sim.RNG) time.Duration { return time.Duration(d) }
+
+// MinDelay implements MinDelayer.
+func (d FixedDelay) MinDelay() time.Duration { return time.Duration(d) }
 
 // GaussianDelay models a link with a hard propagation floor and normally
 // distributed queueing jitter above it. Samples below Floor are clamped:
@@ -53,6 +66,9 @@ func (d GaussianDelay) Sample(_ sim.Time, rng *sim.RNG) time.Duration {
 	}
 	return v
 }
+
+// MinDelay implements MinDelayer.
+func (d GaussianDelay) MinDelay() time.Duration { return d.Floor }
 
 // SpikeDelay adds a heavy upper tail: with probability Prob a packet is
 // delayed by an extra Exp(Mean) capped at Cap. Layered over a base model
@@ -76,6 +92,15 @@ func (d SpikeDelay) Sample(now sim.Time, rng *sim.RNG) time.Duration {
 		v += extra
 	}
 	return v
+}
+
+// MinDelay implements MinDelayer when the base model does: spikes only
+// ever add delay on top of the base sample.
+func (d SpikeDelay) MinDelay() time.Duration {
+	if md, ok := d.Base.(MinDelayer); ok {
+		return md.MinDelay()
+	}
+	return 0
 }
 
 // Shaper is a mutable wrapper around a DelayModel. It is the control

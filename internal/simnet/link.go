@@ -31,6 +31,9 @@ type Line struct {
 	queued       int
 	busyUntil    sim.Time
 	down         bool
+	// cross marks a line whose endpoints live on different partitions of a
+	// sharded network; deliveries then ride the coordinator's outboxes.
+	cross bool
 
 	rngDelay *sim.RNG
 	rngLoss  *sim.RNG
@@ -67,8 +70,13 @@ func (l *Line) recordDrop(size int) {
 		return
 	}
 	l.obsDrop.Inc()
-	l.journal.Record(l.from.node.net.Eng.Now(), obs.KindQueueDrop, 0, 0, int64(size), l.obsName)
+	l.journal.Record(l.from.node.eng.Now(), obs.KindQueueDrop, 0, 0, int64(size), l.obsName)
 }
+
+// Eng returns the engine owning this direction's send side — the from-
+// node's partition engine. Events that mutate the line (shaper changes,
+// admin flaps) must be scheduled here.
+func (l *Line) Eng() *sim.Engine { return l.from.node.eng }
 
 // Shaper returns the mutable delay shaper for this direction; scenario
 // events use it to inject incidents.
@@ -112,7 +120,7 @@ func (l *Line) InFlight() uint64 { return l.Stats.Tx - l.Stats.Lost - l.Stats.Rx
 // and released by the receiving node — so per-packet link traversal
 // allocates nothing.
 func (l *Line) send(pb *packet.Buf) {
-	eng := l.from.node.net.Eng
+	eng := l.from.node.eng
 	if l.down {
 		l.Stats.Dropped++
 		l.recordDrop(pb.Len())
@@ -151,13 +159,45 @@ func (l *Line) send(pb *packet.Buf) {
 		txDone = now
 	}
 	prop := l.shaper.Sample(now, l.rngDelay)
+	if l.cross {
+		l.sendCross(txDone+prop, pb)
+		return
+	}
 	eng.ScheduleArgAt(txDone+prop, l, pb)
+}
+
+// sendCross stages a partition-crossing packet: the payload bytes are
+// copied into a recycled carrier owned by the sending partition, the
+// source-pool buffer is released immediately, and the delivery event is
+// routed through the coordinator. PrepareCross later rehydrates the bytes
+// into the destination partition's pool — so each pool stays touched by
+// exactly one goroutine, and steady state allocates nothing once carrier
+// capacity has warmed up.
+func (l *Line) sendCross(at sim.Time, pb *packet.Buf) {
+	src := l.from.node
+	cp := src.net.stages[src.part].get()
+	cp.data = append(cp.data[:0], pb.Bytes()...)
+	pb.Release()
+	sim.CrossScheduleAt(src.eng, l.to.node.eng, at, l, cp)
+}
+
+// PrepareCross implements sim.CrossPrepper: it runs single-threaded at the
+// barrier (or inline in coupled mode) and converts the staged byte carrier
+// into a buffer leased from the destination partition's pool.
+func (l *Line) PrepareCross(arg any) any {
+	cp := arg.(*crossPkt)
+	pb := l.to.node.pool.Get()
+	pb.SetBytes(cp.data)
+	l.from.node.net.stages[l.from.node.part].put(cp)
+	return pb
 }
 
 // OnSimEvent implements sim.ArgHandler: it is the arrival half of send,
 // fired by the engine at the packet's delivery instant with the in-flight
 // buffer as payload. Ownership of the buffer passes to the receiving
-// node.
+// node. On a cross line the event fires on the destination partition's
+// engine; Rx and the delivery path touch destination-side state only
+// (Tx/Lost/Bytes stay source-side words, so the two sides never race).
 func (l *Line) OnSimEvent(arg any) {
 	pb := arg.(*packet.Buf)
 	if l.bandwidthBps > 0 {

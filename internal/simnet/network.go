@@ -11,15 +11,27 @@ import (
 )
 
 // Network owns the nodes and links of one simulated internet, plus the
-// packet-buffer pool every in-flight packet lives in. Like the engine,
-// the pool is single-goroutine: one Network, one goroutine.
+// packet-buffer pools every in-flight packet lives in. A classic network
+// runs on one engine and one pool (single-goroutine, as before). A
+// sharded network (NewSharded) runs each partition of the node set on its
+// own engine with its own pool, synchronized by a sim.Coordinator; every
+// pool is still touched by exactly one goroutine at a time, because
+// cross-partition packets are staged as plain bytes and materialized into
+// the destination pool at epoch barriers.
 type Network struct {
+	// Eng is the engine of a classic network, and partition 0's engine of
+	// a sharded one (construction-time conveniences may use it; per-node
+	// work must go through Node.Eng).
 	Eng     *sim.Engine
 	Streams *sim.Streams
 
 	nodes map[string]*Node
 	links []*Link
-	pool  *packet.BufPool
+
+	coord  *sim.Coordinator
+	assign func(string) int
+	pools  []*packet.BufPool
+	stages []*crossStage
 }
 
 // New creates an empty network over a fresh engine seeded with seed.
@@ -28,14 +40,59 @@ func New(seed int64) *Network {
 		Eng:     sim.NewEngine(),
 		Streams: sim.NewStreams(seed),
 		nodes:   make(map[string]*Node),
-		pool:    packet.NewBufPool(),
+		pools:   []*packet.BufPool{packet.NewBufPool()},
 	}
 }
 
-// BufPool returns the network's packet-buffer pool. Components that
-// originate packets (the Tango data plane) lease buffers here and hand
-// them to InjectBuf; see the ownership rules on packet.Buf.
-func (w *Network) BufPool() *packet.BufPool { return w.pool }
+// NewSharded creates an empty network whose nodes are partitioned over
+// parts engines under one coordinator. assign maps a node name to its
+// partition (it must be total over every node subsequently added, and is
+// a function of topology and seed only — never of the worker count).
+// lookahead is the conservative horizon from the partitioner: no
+// cross-partition link or session may interact faster than it.
+func NewSharded(seed int64, parts int, lookahead time.Duration, assign func(string) int) *Network {
+	if parts < 1 {
+		panic("simnet: NewSharded needs at least one partition")
+	}
+	c := sim.NewCoordinator(parts, lookahead)
+	w := &Network{
+		Eng:     c.Part(0),
+		Streams: sim.NewStreams(seed),
+		nodes:   make(map[string]*Node),
+		coord:   c,
+		assign:  assign,
+		pools:   make([]*packet.BufPool, parts),
+		stages:  make([]*crossStage, parts),
+	}
+	for i := 0; i < parts; i++ {
+		w.pools[i] = packet.NewBufPool()
+		w.stages[i] = &crossStage{}
+	}
+	return w
+}
+
+// Coord returns the coordinator of a sharded network, or nil.
+func (w *Network) Coord() *sim.Coordinator { return w.coord }
+
+// Sharded reports whether the network runs partitioned.
+func (w *Network) Sharded() bool { return w.coord != nil }
+
+// BufPool returns the network's packet-buffer pool (partition 0's pool on
+// a sharded network). Components that originate packets lease buffers
+// from their own node's pool (Node.Pool); see the ownership rules on
+// packet.Buf.
+func (w *Network) BufPool() *packet.BufPool { return w.pools[0] }
+
+// LeasedBufs returns the outstanding buffer leases summed over every
+// partition pool — the quantity the chaos buffer-balance invariant
+// compares against packets in flight.
+func (w *Network) LeasedBufs() uint64 {
+	var leased uint64
+	for _, p := range w.pools {
+		leased += p.Stats.Gets - p.Stats.Puts
+	}
+	return leased
+}
 
 // AddNode creates a node with the given wall-clock offset from virtual
 // time. Duplicate names panic: scenario construction bugs should be loud.
@@ -43,10 +100,22 @@ func (w *Network) AddNode(name string, clockOffset time.Duration) *Node {
 	if _, dup := w.nodes[name]; dup {
 		panic(fmt.Sprintf("simnet: duplicate node %q", name))
 	}
+	part := 0
+	eng := w.Eng
+	if w.coord != nil {
+		part = w.assign(name)
+		if part < 0 || part >= w.coord.NumParts() {
+			panic(fmt.Sprintf("simnet: node %q assigned to partition %d of %d", name, part, w.coord.NumParts()))
+		}
+		eng = w.coord.Part(part)
+	}
 	n := &Node{
 		name:  name,
 		net:   w,
-		clock: sim.NewClock(w.Eng, clockOffset, 0),
+		eng:   eng,
+		part:  part,
+		pool:  w.pools[part],
+		clock: sim.NewClock(eng, clockOffset, 0),
 		owned: make(map[netip.Addr]int),
 	}
 	w.nodes[name] = n
@@ -97,6 +166,12 @@ func (w *Network) Connect(a, b *Node, cfgAB, cfgBA LinkConfig) *Link {
 	l.a, l.b = pa, pb
 	l.ab = newLine(pa, pb, cfgAB, w.Streams.Stream(name+"/ab"))
 	l.ba = newLine(pb, pa, cfgBA, w.Streams.Stream(name+"/ba"))
+	if a.part != b.part {
+		w.checkCross(name, cfgAB)
+		w.checkCross(name, cfgBA)
+		l.ab.cross = true
+		l.ba.cross = true
+	}
 	pa.out, pa.in = l.ab, l.ba
 	pb.out, pb.in = l.ba, l.ab
 	a.ports = append(a.ports, pa)
@@ -122,8 +197,72 @@ func newLine(from, to *Port, cfg LinkConfig, rng *sim.RNG) *Line {
 	}
 }
 
+// checkCross validates one direction of a partition-crossing link: the
+// conservative epoch scheme is only sound when every cross-partition
+// packet is in flight for at least the lookahead, and queues/serialization
+// would put mutable state (busyUntil, queued) on both sides of a barrier.
+func (w *Network) checkCross(name string, cfg LinkConfig) {
+	if cfg.BandwidthBps > 0 {
+		panic(fmt.Sprintf("simnet: cross-partition link %s must not model bandwidth", name))
+	}
+	la := w.coord.Lookahead()
+	if la <= 0 {
+		return
+	}
+	md, ok := cfg.Delay.(MinDelayer)
+	if !ok {
+		panic(fmt.Sprintf("simnet: cross-partition link %s needs a delay model with a known minimum", name))
+	}
+	if md.MinDelay() < la {
+		panic(fmt.Sprintf("simnet: cross-partition link %s min delay %v below lookahead %v",
+			name, md.MinDelay(), la))
+	}
+}
+
 // Run advances the simulation to the given virtual time.
-func (w *Network) Run(until sim.Time) { w.Eng.Run(until) }
+func (w *Network) Run(until sim.Time) {
+	if w.coord != nil {
+		w.coord.Run(until)
+		return
+	}
+	w.Eng.Run(until)
+}
 
 // Now returns the current virtual time.
-func (w *Network) Now() sim.Time { return w.Eng.Now() }
+func (w *Network) Now() sim.Time {
+	if w.coord != nil {
+		return w.coord.Now()
+	}
+	return w.Eng.Now()
+}
+
+// crossStage recycles the byte carriers of cross-partition packets for
+// one source partition: get runs on the partition's goroutine during an
+// epoch, put runs single-threaded at the barrier when the bytes have been
+// copied into the destination pool. Steady state allocates nothing.
+type crossStage struct {
+	free *crossPkt
+}
+
+// crossPkt is one staged cross-partition packet: a copy of the payload
+// bytes, detached from any buffer pool.
+type crossPkt struct {
+	data []byte
+	next *crossPkt
+}
+
+func (s *crossStage) get() *crossPkt {
+	cp := s.free
+	if cp == nil {
+		return &crossPkt{}
+	}
+	s.free = cp.next
+	cp.next = nil
+	return cp
+}
+
+func (s *crossStage) put(cp *crossPkt) {
+	cp.data = cp.data[:0]
+	cp.next = s.free
+	s.free = cp
+}

@@ -34,6 +34,9 @@ type NodeStats struct {
 type Node struct {
 	name  string
 	net   *Network
+	eng   *sim.Engine // the node's partition engine (the network engine when unsharded)
+	part  int
+	pool  *packet.BufPool // the partition's buffer pool
 	clock *sim.Clock
 
 	fib   addr.Trie[*RouteEntry]
@@ -65,6 +68,18 @@ func (n *Node) Clock() *sim.Clock { return n.clock }
 
 // Network returns the owning network.
 func (n *Node) Network() *Network { return n.net }
+
+// Eng returns the engine of the node's partition (the network engine on
+// an unsharded network).
+func (n *Node) Eng() *sim.Engine { return n.eng }
+
+// Part returns the node's partition index (0 on an unsharded network).
+func (n *Node) Part() int { return n.part }
+
+// Pool returns the buffer pool of the node's partition. Components that
+// originate packets from this node must lease from it — never from
+// another partition's pool.
+func (n *Node) Pool() *packet.BufPool { return n.pool }
 
 // Ports returns the node's attachment points in creation order.
 func (n *Node) Ports() []*Port { return n.ports }
@@ -151,7 +166,7 @@ func (n *Node) FIBLen() int { return n.fib.Len() }
 // fast path serialize directly into a leased buffer and use InjectBuf
 // instead, which copies nothing.
 func (n *Node) Inject(data []byte) {
-	pb := n.net.pool.Get()
+	pb := n.pool.Get()
 	pb.SetBytes(data)
 	n.InjectBuf(pb)
 }
@@ -304,7 +319,7 @@ func flowHash(data []byte) uint32 {
 // the given layers straight into a pooled buffer and injects the result,
 // so even the convenience path is allocation-free in steady state.
 func (n *Node) LocalOut(layers ...packet.SerializableLayer) error {
-	pb := n.net.pool.Get()
+	pb := n.pool.Get()
 	if err := packet.SerializeLayers(&pb.SerializeBuffer, layers...); err != nil {
 		pb.Release()
 		return err
@@ -315,5 +330,5 @@ func (n *Node) LocalOut(layers ...packet.SerializableLayer) error {
 
 // Schedule is a convenience for scheduling node-scoped work.
 func (n *Node) Schedule(d time.Duration, fn func()) *sim.Event {
-	return n.net.Eng.Schedule(d, fn)
+	return n.eng.Schedule(d, fn)
 }

@@ -88,6 +88,13 @@ type MeshPeering struct {
 // MeshConfig declares an N-site mesh.
 type MeshConfig struct {
 	Seed int64
+	// Shards, when positive, builds the mesh over a partitioned network
+	// (see MeshPartition) and runs parallel phases on that many worker
+	// goroutines. The partition layout is a function of the topology and
+	// Seed only — Shards sets workers, never the layout — so any two
+	// positive values produce identical simulations, differing only in
+	// wall-clock time. Zero builds the classic single-engine network.
+	Shards int
 	// MRAI paces the transit and peering sessions (default 5 s).
 	MRAI time.Duration
 	// EdgeBlockBase supplies default per-edge prefixes (a /44 block plus
@@ -123,13 +130,122 @@ type MeshScenario struct {
 	HostPrefix map[string]addr.Prefix
 	Block      map[string]addr.Prefix
 	Probe      map[string]addr.Prefix
+
+	// Layout is the partition layout the mesh was built over (zero value
+	// when cfg.Shards == 0).
+	Layout Partition
+}
+
+// meshSessionDelay and meshEdgeDelay mirror the construction constants
+// below; MeshPartition folds them into the partition graph, so the two
+// must stay in sync with NewMeshScenario's wiring.
+const (
+	meshSessionDelay     = 10 * time.Millisecond // Wire's default control-plane delay
+	meshEdgeLinkDelay    = 200 * time.Microsecond
+	meshEdgeSessionDelay = time.Millisecond
+	meshPeeringDelay     = 4 * time.Millisecond
+)
+
+// modelFloor returns the known propagation minimum of a delay model: nil
+// models take Wire's 1 ms default, models without a declared floor are
+// conservatively 0 (forcing their endpoints into one partition).
+func modelFloor(dm simnet.DelayModel) time.Duration {
+	if dm == nil {
+		return time.Millisecond
+	}
+	if md, ok := dm.(simnet.MinDelayer); ok {
+		return md.MinDelay()
+	}
+	return 0
+}
+
+// MeshPartition derives the partition graph of a mesh config without
+// building it: the nodes are every provider, POP, and edge server the
+// config will create, and each adjacency's per-direction minimum folds
+// the data-plane delay floor with the BGP session delay (whichever plane
+// interacts first bounds the lookahead). The layout depends only on the
+// topology and cfg.Seed — never on cfg.Shards.
+func MeshPartition(cfg MeshConfig) Partition {
+	var nodes []string
+	var edges []PartEdge
+	provNode := map[string]string{}
+	for _, p := range cfg.Providers {
+		node := p.NodeName
+		if node == "" {
+			node = p.Name
+		}
+		provNode[p.Name] = node
+		nodes = append(nodes, node)
+	}
+	popNode := map[string]string{}
+	for _, s := range cfg.Sites {
+		pop := s.POPName
+		if pop == "" {
+			pop = "pop-" + s.Name
+		}
+		popNode[s.Name] = pop
+		nodes = append(nodes, pop)
+		for _, at := range s.Attach {
+			pn, ok := provNode[at.Provider]
+			if !ok {
+				continue // construction reports the error
+			}
+			edges = append(edges, PartEdge{
+				A: pop, B: pn,
+				MinDelayAB: min(modelFloor(at.Access), meshSessionDelay),
+				MinDelayBA: min(modelFloor(at.Trunk), meshSessionDelay),
+			})
+		}
+	}
+	for _, pr := range cfg.Pairs {
+		for k := 0; k < 2; k++ {
+			siteName, peer, side := pr.A, pr.B, pr.SideA
+			if k == 1 {
+				siteName, peer, side = pr.B, pr.A, pr.SideB
+			}
+			pop, ok := popNode[siteName]
+			if !ok {
+				continue
+			}
+			name := side.EdgeName
+			if name == "" {
+				name = "edge-" + siteName + ":" + peer
+			}
+			nodes = append(nodes, name)
+			d := min(meshEdgeLinkDelay, meshEdgeSessionDelay)
+			edges = append(edges, PartEdge{A: name, B: pop, MinDelayAB: d, MinDelayBA: d})
+		}
+	}
+	for _, pe := range cfg.Peerings {
+		pa, oka := provNode[pe.A]
+		pb, okb := provNode[pe.B]
+		if !oka || !okb {
+			continue
+		}
+		d := pe.Delay
+		if d == 0 {
+			d = meshPeeringDelay
+		}
+		d = min(d, meshSessionDelay)
+		edges = append(edges, PartEdge{A: pa, B: pb, MinDelayAB: d, MinDelayBA: d})
+	}
+	return PartitionGraph(cfg.Seed, nodes, edges, 0, 0)
 }
 
 // NewMeshScenario builds the mesh, validating the config as it goes.
 func NewMeshScenario(cfg MeshConfig) (*MeshScenario, error) {
-	b := NewBuilder(cfg.Seed)
+	var b *Builder
+	var layout Partition
+	if cfg.Shards > 0 {
+		layout = MeshPartition(cfg)
+		b = NewShardedBuilder(cfg.Seed, layout)
+		b.W.Coord().SetWorkers(cfg.Shards)
+	} else {
+		b = NewBuilder(cfg.Seed)
+	}
 	m := &MeshScenario{
 		B:          b,
+		Layout:     layout,
 		POPs:       map[string]*AS{},
 		Providers:  map[string]*AS{},
 		Edges:      map[string]*AS{},
@@ -203,7 +319,7 @@ func NewMeshScenario(cfg MeshConfig) (*MeshScenario, error) {
 
 	// Per-pair edge servers: dedicated AS behind each site's POP, with
 	// default route toward it and a plainly originated host prefix.
-	dc := simnet.FixedDelay(200 * time.Microsecond)
+	dc := simnet.FixedDelay(meshEdgeLinkDelay)
 	edgeASN := bgp.ASN(64700)
 	for _, pr := range cfg.Pairs {
 		if pr.A == pr.B {
@@ -242,7 +358,7 @@ func NewMeshScenario(cfg MeshConfig) (*MeshScenario, error) {
 			lnk, _, _ := b.Wire(edge, m.POPs[siteName], WireOpts{
 				RelAB:   bgp.RelProvider,
 				DelayAB: dc, DelayBA: dc,
-				SessionDelay: time.Millisecond,
+				SessionDelay: meshEdgeSessionDelay,
 				MRAI:         time.Second,
 			})
 			if err := DefaultRoute(edge, lnk); err != nil {
@@ -270,7 +386,7 @@ func NewMeshScenario(cfg MeshConfig) (*MeshScenario, error) {
 		}
 		d := pe.Delay
 		if d == 0 {
-			d = 4 * time.Millisecond
+			d = meshPeeringDelay
 		}
 		b.Wire(pa, pb, WireOpts{
 			RelAB:   bgp.RelPeer,

@@ -1,0 +1,182 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tango/internal/sim"
+)
+
+// PartEdge is one link of the partitioning graph: an undirected adjacency
+// with possibly asymmetric per-direction minimum delays (the propagation
+// floors of the two lines, folded with the BGP session delay when the
+// adjacency carries one).
+type PartEdge struct {
+	A, B                   string
+	MinDelayAB, MinDelayBA time.Duration
+}
+
+// minBoth returns the edge's conservative minimum: the earliest any event
+// can cross the adjacency in either direction.
+func (e PartEdge) minBoth() time.Duration {
+	if e.MinDelayAB < e.MinDelayBA {
+		return e.MinDelayAB
+	}
+	return e.MinDelayBA
+}
+
+// Partition assigns every node of a topology graph to one simulation
+// partition and reports the conservative lookahead.
+type Partition struct {
+	// Part maps node name to partition index.
+	Part map[string]int
+	// Parts is the partition count (0 for an empty graph).
+	Parts int
+	// Lookahead is the minimum delay of any edge whose endpoints landed
+	// in different partitions — the epoch length a conservative parallel
+	// simulation may use. Zero when fewer than two partitions exist or no
+	// edge crosses a boundary.
+	Lookahead time.Duration
+}
+
+// DefaultCutFloor separates "same machine room" delays from wide-area
+// ones: edges faster than this never cross a partition boundary, so the
+// lookahead is always at least this large. Site-internal links (edge
+// server to POP, 200 µs) stay intra-partition; wide-area trunks and
+// peerings (≥ 1 ms floors) may be cut.
+const DefaultCutFloor = time.Millisecond
+
+// PartitionGraph groups nodes connected by edges faster than cutFloor
+// into clusters (they must share an engine: their interactions are too
+// fast to synchronize conservatively at a useful cadence) and assigns
+// clusters to partitions. With maxParts <= 0 or more than the cluster
+// count, every cluster is its own partition; otherwise clusters are
+// packed onto maxParts partitions by balanced size, ties broken by the
+// seeded RNG so packing is deterministic for a (seed, graph) pair.
+//
+// The partition layout is a function of the topology and seed only —
+// never of the worker count driving the simulation — which is what makes
+// 1-worker and N-worker runs produce identical event orders.
+func PartitionGraph(seed int64, nodes []string, edges []PartEdge, maxParts int, cutFloor time.Duration) Partition {
+	if cutFloor <= 0 {
+		cutFloor = DefaultCutFloor
+	}
+	p := Partition{Part: make(map[string]int, len(nodes))}
+	if len(nodes) == 0 {
+		return p
+	}
+	idx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		if _, dup := idx[n]; dup {
+			panic(fmt.Sprintf("topo: PartitionGraph: duplicate node %q", n))
+		}
+		idx[n] = i
+	}
+	// Union-find over sub-cutFloor edges.
+	parent := make([]int, len(nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	lookup := func(name string) int {
+		i, ok := idx[name]
+		if !ok {
+			panic(fmt.Sprintf("topo: PartitionGraph: edge references unknown node %q", name))
+		}
+		return i
+	}
+	for _, e := range edges {
+		a, b := lookup(e.A), lookup(e.B)
+		if e.minBoth() < cutFloor {
+			ra, rb := find(a), find(b)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	// Number clusters by first appearance in node order, so the layout is
+	// stable under edge reordering.
+	cluster := make([]int, len(nodes))
+	clusterOf := make(map[int]int)
+	for i := range nodes {
+		r := find(i)
+		c, ok := clusterOf[r]
+		if !ok {
+			c = len(clusterOf)
+			clusterOf[r] = c
+		}
+		cluster[i] = c
+	}
+	nclusters := len(clusterOf)
+
+	// Map clusters to partitions: identity when they all fit, balanced
+	// packing (largest first onto the lightest partition) otherwise.
+	partOf := make([]int, nclusters)
+	if maxParts <= 0 || nclusters <= maxParts {
+		for c := range partOf {
+			partOf[c] = c
+		}
+		p.Parts = nclusters
+	} else {
+		size := make([]int, nclusters)
+		for i := range nodes {
+			size[cluster[i]]++
+		}
+		order := make([]int, nclusters)
+		for c := range order {
+			order[c] = c
+		}
+		sort.SliceStable(order, func(i, j int) bool { return size[order[i]] > size[order[j]] })
+		rng := sim.NewStreams(seed).Stream("topo/partition")
+		load := make([]int, maxParts)
+		for _, c := range order {
+			// Collect the currently lightest partitions and draw one, so
+			// equal-size layouts spread seeded rather than always leftward.
+			best, ties := load[0], 1
+			for _, l := range load[1:] {
+				if l < best {
+					best, ties = l, 1
+				} else if l == best {
+					ties++
+				}
+			}
+			pick := rng.Intn(ties)
+			for pi, l := range load {
+				if l != best {
+					continue
+				}
+				if pick == 0 {
+					partOf[c] = pi
+					load[pi] += size[c]
+					break
+				}
+				pick--
+			}
+		}
+		p.Parts = maxParts
+	}
+	for i, n := range nodes {
+		p.Part[n] = partOf[cluster[i]]
+	}
+
+	// Lookahead: the tightest min delay crossing a partition boundary.
+	if p.Parts > 1 {
+		for _, e := range edges {
+			if p.Part[e.A] == p.Part[e.B] {
+				continue
+			}
+			if m := e.minBoth(); p.Lookahead == 0 || m < p.Lookahead {
+				p.Lookahead = m
+			}
+		}
+	}
+	return p
+}

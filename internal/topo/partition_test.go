@@ -1,0 +1,154 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/sim"
+	"tango/internal/simnet"
+)
+
+func TestPartitionGraphEmpty(t *testing.T) {
+	p := PartitionGraph(1, nil, nil, 0, 0)
+	if p.Parts != 0 || len(p.Part) != 0 || p.Lookahead != 0 {
+		t.Fatalf("empty graph: got %+v", p)
+	}
+	if mp := MeshPartition(MeshConfig{}); mp.Parts != 0 || mp.Lookahead != 0 {
+		t.Fatalf("empty mesh: got %+v", mp)
+	}
+}
+
+func TestPartitionSingleSiteMergesWithFastAccess(t *testing.T) {
+	// A lone site whose access link is faster than the cut floor shares a
+	// partition with its provider: there is nothing to parallelize, and
+	// the lookahead stays zero.
+	cfg := MeshConfig{
+		Providers: []MeshProvider{{Name: "P", ASN: 100}},
+		Sites: []MeshSite{{
+			Name:   "solo",
+			POPASN: 200,
+			Attach: []MeshAttachment{{
+				Provider: "P",
+				Access:   fastModel{},
+				Trunk:    fastModel{},
+			}},
+		}},
+	}
+	p := MeshPartition(cfg)
+	if p.Parts != 1 {
+		t.Fatalf("single fast-linked site: want 1 partition, got %d", p.Parts)
+	}
+	if p.Lookahead != 0 {
+		t.Fatalf("single partition has no cross edges: want lookahead 0, got %v", p.Lookahead)
+	}
+}
+
+// fastModel is a delay model with a declared sub-cut-floor minimum.
+type fastModel struct{}
+
+func (fastModel) Sample(sim.Time, *sim.RNG) time.Duration { return 50 * time.Microsecond }
+func (fastModel) MinDelay() time.Duration                 { return 50 * time.Microsecond }
+
+var _ simnet.MinDelayer = fastModel{}
+
+func TestPartitionMoreShardsThanNodesClamps(t *testing.T) {
+	// Shards is a worker count, not a layout input: asking for more
+	// workers than partitions exist clamps to the partition count and
+	// changes nothing about the layout.
+	cfg := TriConfig(7)
+	want := MeshPartition(MeshConfig{
+		Seed:      cfg.Seed,
+		Providers: cfg.Providers,
+		Sites:     cfg.Sites,
+		Pairs:     cfg.Pairs,
+		Peerings:  cfg.Peerings,
+	})
+	cfg.Shards = 999
+	s, err := NewMeshScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.B.W.Coord()
+	if c == nil {
+		t.Fatal("sharded build has no coordinator")
+	}
+	if c.Workers() != c.NumParts() {
+		t.Fatalf("workers %d, want clamp to partition count %d", c.Workers(), c.NumParts())
+	}
+	if s.Layout.Parts != want.Parts {
+		t.Fatalf("worker count changed the layout: %d parts vs %d", s.Layout.Parts, want.Parts)
+	}
+	for n, part := range want.Part {
+		if s.Layout.Part[n] != part {
+			t.Fatalf("node %s moved: partition %d vs %d", n, s.Layout.Part[n], part)
+		}
+	}
+}
+
+func TestPartitionLookaheadAsymmetricDelays(t *testing.T) {
+	// The lookahead must be the minimum over BOTH directions of every
+	// cut edge: an epoch bounds when any cross event can land, and the
+	// faster direction is the binding one.
+	nodes := []string{"a", "b", "c"}
+	edges := []PartEdge{
+		{A: "a", B: "b", MinDelayAB: 9 * time.Millisecond, MinDelayBA: 3 * time.Millisecond},
+		{A: "b", B: "c", MinDelayAB: 5 * time.Millisecond, MinDelayBA: 20 * time.Millisecond},
+	}
+	p := PartitionGraph(1, nodes, edges, 0, 0)
+	if p.Parts != 3 {
+		t.Fatalf("want 3 partitions, got %d", p.Parts)
+	}
+	if p.Lookahead != 3*time.Millisecond {
+		t.Fatalf("lookahead: want 3ms (min of 9/3/5/20), got %v", p.Lookahead)
+	}
+
+	// Reversing an edge's direction fields must not change the answer.
+	edges[0].MinDelayAB, edges[0].MinDelayBA = edges[0].MinDelayBA, edges[0].MinDelayAB
+	if q := PartitionGraph(1, nodes, edges, 0, 0); q.Lookahead != 3*time.Millisecond {
+		t.Fatalf("lookahead after swap: want 3ms, got %v", q.Lookahead)
+	}
+}
+
+func TestPartitionSubFloorEdgeNeverCut(t *testing.T) {
+	// An edge faster than the cut floor glues its endpoints into one
+	// cluster even when one direction is slow: conservative sync at that
+	// cadence would be useless.
+	nodes := []string{"a", "b", "c"}
+	edges := []PartEdge{
+		{A: "a", B: "b", MinDelayAB: 100 * time.Microsecond, MinDelayBA: 30 * time.Millisecond},
+		{A: "b", B: "c", MinDelayAB: 2 * time.Millisecond, MinDelayBA: 2 * time.Millisecond},
+	}
+	p := PartitionGraph(1, nodes, edges, 0, 0)
+	if p.Parts != 2 {
+		t.Fatalf("want 2 partitions (a+b merged), got %d", p.Parts)
+	}
+	if p.Part["a"] != p.Part["b"] {
+		t.Fatal("sub-floor edge a-b was cut")
+	}
+	if p.Lookahead != 2*time.Millisecond {
+		t.Fatalf("lookahead: want 2ms, got %v", p.Lookahead)
+	}
+}
+
+func TestPartitionPackingDeterministicPerSeed(t *testing.T) {
+	// More clusters than maxParts forces balanced packing; the tiebreak
+	// is seeded, so a fixed seed reproduces the layout exactly.
+	nodes := []string{"a", "b", "c", "d", "e"}
+	var edges []PartEdge // no edges: five singleton clusters
+	first := PartitionGraph(42, nodes, edges, 2, 0)
+	if first.Parts != 2 {
+		t.Fatalf("want 2 packed partitions, got %d", first.Parts)
+	}
+	for i := 0; i < 5; i++ {
+		again := PartitionGraph(42, nodes, edges, 2, 0)
+		for _, n := range nodes {
+			if first.Part[n] != again.Part[n] {
+				t.Fatalf("seeded packing not reproducible: %s moved", n)
+			}
+		}
+	}
+	// Disconnected partitions have no cross edges to bound the epoch.
+	if first.Lookahead != 0 {
+		t.Fatalf("no edges: want lookahead 0, got %v", first.Lookahead)
+	}
+}

@@ -44,6 +44,26 @@ func NewBuilder(seed int64) *Builder {
 	return &Builder{W: simnet.New(seed), ases: make(map[string]*AS)}
 }
 
+// NewShardedBuilder creates a builder over a partitioned network: p maps
+// every future node name to its partition (see PartitionGraph), and the
+// coordinator synchronizes partitions at p.Lookahead. A single-partition
+// layout still runs through the coordinator (in coupled mode), so the
+// same construction path serves every shard count.
+func NewShardedBuilder(seed int64, p Partition) *Builder {
+	parts := p.Parts
+	if parts < 1 {
+		parts = 1
+	}
+	w := simnet.NewSharded(seed, parts, p.Lookahead, func(name string) int {
+		pi, ok := p.Part[name]
+		if !ok {
+			panic(fmt.Sprintf("topo: node %q missing from partition layout", name))
+		}
+		return pi
+	})
+	return &Builder{W: w, ases: make(map[string]*AS)}
+}
+
 // Eng returns the underlying engine.
 func (b *Builder) Eng() *sim.Engine { return b.W.Eng }
 
@@ -53,7 +73,7 @@ func (b *Builder) AS(name string) *AS { return b.ases[name] }
 // AddAS creates an AS with the given clock offset on its node.
 func (b *Builder) AddAS(name string, asn bgp.ASN, routerID uint32, clockOffset time.Duration) *AS {
 	n := b.W.AddNode(name, clockOffset)
-	sp := bgp.NewSpeaker(b.W.Eng, name, asn, routerID)
+	sp := bgp.NewSpeaker(n.Eng(), name, asn, routerID)
 	a := &AS{Name: name, ASN: asn, Node: n, Speaker: sp, nhPort: make(map[netip.Addr]*simnet.Port)}
 	sp.OnBestChange = func(p addr.Prefix, best, old *bgp.Route) {
 		a.applyBest(p, best)
@@ -126,7 +146,7 @@ func (b *Builder) Wire(x, y *AS, o WireOpts) (*simnet.Link, *bgp.Session, *bgp.S
 		o.DelayBA = simnet.FixedDelay(time.Millisecond)
 	}
 	if o.SessionDelay == 0 {
-		o.SessionDelay = 10 * time.Millisecond
+		o.SessionDelay = meshSessionDelay
 	}
 	if o.MRAI == 0 {
 		o.MRAI = 5 * time.Second

@@ -62,6 +62,12 @@ type Scenario struct {
 // ScenarioConfig tweaks the Vultr scenario.
 type ScenarioConfig struct {
 	Seed int64
+	// Shards forwards to MeshConfig.Shards (0 = classic single-engine
+	// network). The Vultr topology's 50 µs access links merge every node
+	// into one partition, so a sharded Vultr run exercises the
+	// coordinator's coupled path end to end while remaining trivially
+	// worker-count invariant.
+	Shards int
 	// ClockOffsetNY/LA model the unsynchronised server clocks. The
 	// defaults are deliberately large and asymmetric.
 	ClockOffsetNY, ClockOffsetLA time.Duration
@@ -109,8 +115,9 @@ func VultrConfig(cfg ScenarioConfig) MeshConfig {
 		return out
 	}
 	return MeshConfig{
-		Seed: cfg.Seed,
-		MRAI: cfg.MRAI,
+		Seed:   cfg.Seed,
+		Shards: cfg.Shards,
+		MRAI:   cfg.MRAI,
 		Sites: []MeshSite{
 			{
 				Name: "ny", ClockOffset: cfg.ClockOffsetNY,

@@ -1,0 +1,67 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/bgp"
+)
+
+// WideMeshConfig builds the E12 scale topology: n sites on the radial
+// delay model, every site attached to all sixteen transit providers, and
+// pairs deployed along a ring with fixed chord offsets. At the default 64
+// sites this yields 320 pairs sharing 16 providers each — 10,240
+// provisioned tunnels — while keeping the pair count (the quadratic cost
+// driver: every deployed edge server carries a BGP table) two orders of
+// magnitude below a full clique.
+//
+// Every radial floor is at least 4 ms (minimum radius 8 ms, fastest
+// provider scale 1.0), so each site clusters into its own partition and
+// the sharded lookahead is 4 ms.
+func WideMeshConfig(seed int64, n int) MeshConfig {
+	provs := make([]RadialProvider, 16)
+	names := make([]string, 16)
+	for p := range provs {
+		names[p] = fmt.Sprintf("P%02d", p)
+		provs[p] = RadialProvider{
+			Name:  names[p],
+			ASN:   bgp.ASN(60001 + p),
+			Scale: 1.0 + 0.02*float64(p),
+			Std:   time.Duration(10+15*p) * time.Microsecond,
+		}
+	}
+	sites := make([]RadialSite, n)
+	for i := range sites {
+		sites[i] = RadialSite{
+			Name:        fmt.Sprintf("s%02d", i),
+			Radius:      8*time.Millisecond + time.Duration(i%16)*750*time.Microsecond,
+			ClockOffset: time.Duration((i*7)%13-6) * time.Millisecond,
+			Providers:   names,
+		}
+	}
+	// Ring plus chords: offsets chosen coprime-ish so the pair graph stays
+	// connected and spreads traffic; offsets ≥ n/2 would duplicate pairs
+	// and are skipped at small n.
+	var pairs [][2]string
+	seen := map[[2]string]bool{}
+	for _, off := range []int{1, 3, 9, 19, 27} {
+		if off >= (n+1)/2 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			a, b := sites[i].Name, sites[(i+off)%n].Name
+			key := [2]string{min(a, b), max(a, b)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pairs = append(pairs, [2]string{a, b})
+		}
+	}
+	cfg := RadialMeshConfig(seed, provs, sites, pairs)
+	// The default /36 block only feeds 128 pairs; the wide mesh deploys
+	// hundreds, each edge consuming a /44 plus two /48s.
+	cfg.EdgeBlockBase = addr.MustParsePrefix("3000::/24")
+	return cfg
+}

@@ -77,8 +77,20 @@ type AppGen struct {
 	Pending  int
 	template []byte
 
-	// OnDeliver, when set, fires for each delivered packet.
+	// recvEng, when set by BindSink, switches the sink to receiver-side
+	// staging (see BindSink); arrivals collects (seq, receive time) pairs
+	// touched only by the receiving partition's goroutine.
+	recvEng  *sim.Engine
+	arrivals []arrival
+
+	// OnDeliver, when set, fires for each delivered packet (legacy sink
+	// mode only; BindSink mode joins records in FinalRecords instead).
 	OnDeliver func(AppRecord)
+}
+
+type arrival struct {
+	seq uint32
+	at  sim.Time
 }
 
 // AppPort is the inner UDP destination port that identifies AppGen
@@ -114,6 +126,16 @@ func (g *AppGen) emit(now sim.Time) {
 	g.sw.SendToPeer(g.template)
 }
 
+// BindSink binds the sink side to the receiving site's engine and
+// switches delivery accounting to receiver-side staging: Sink then
+// timestamps arrivals with the receiver's clock and touches only
+// receiver-owned state, and send/receive records are joined in
+// FinalRecords. Required on a sharded network whenever the receiving
+// switch lives on a different partition than the generator (the legacy
+// sink would read sender-side maps from the receiver's goroutine).
+// OnDeliver does not fire in this mode.
+func (g *AppGen) BindSink(eng *sim.Engine) { g.recvEng = eng }
+
 // Sink consumes an inner packet delivered at the receiving site and, if
 // it belongs to this generator, records its latency. Wire it into the
 // remote switch's DeliverLocal.
@@ -126,6 +148,10 @@ func (g *AppGen) Sink(inner []byte) bool {
 		return false
 	}
 	seq := binary.BigEndian.Uint32(inner[48:52])
+	if g.recvEng != nil {
+		g.arrivals = append(g.arrivals, arrival{seq: seq, at: g.recvEng.Now()})
+		return true
+	}
 	sent, ok := g.sentAt[seq]
 	if !ok {
 		return false
@@ -146,8 +172,28 @@ func (g *AppGen) Stop() { g.tick.Stop() }
 
 // FinalRecords returns every emitted packet ordered by send time, with
 // in-flight/lost packets carrying RecvAt 0. Call after the simulation
-// has drained.
+// has drained (single-threaded: between runs). In BindSink mode this is
+// where receiver-staged arrivals are joined with the send log.
 func (g *AppGen) FinalRecords() []AppRecord {
+	if g.recvEng != nil {
+		out := make([]AppRecord, 0, len(g.sentAt))
+		matched := make(map[uint32]bool, len(g.arrivals))
+		for _, a := range g.arrivals {
+			sent, ok := g.sentAt[a.seq]
+			if !ok || matched[a.seq] {
+				continue
+			}
+			matched[a.seq] = true
+			out = append(out, AppRecord{Seq: a.seq, SentAt: sent, RecvAt: a.at, Latency: a.at - sent})
+		}
+		for seq, sent := range g.sentAt {
+			if !matched[seq] {
+				out = append(out, AppRecord{Seq: seq, SentAt: sent})
+			}
+		}
+		sortRecords(out)
+		return out
+	}
 	out := append([]AppRecord(nil), g.Records...)
 	for seq, sent := range g.sentAt {
 		out = append(out, AppRecord{Seq: seq, SentAt: sent})

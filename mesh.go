@@ -281,6 +281,6 @@ func (m *Mesh) InjectRouteShift(site, provider string, in, dur, delta time.Durat
 		At:       m.Now() + in,
 		Duration: dur,
 		Delta:    delta,
-	}).Schedule(m.scenario.B.Eng())
+	}).Schedule(line.Eng())
 	return nil
 }

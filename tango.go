@@ -242,7 +242,7 @@ func (l *Lab) InjectRouteShift(provider string, dir Direction, in, dur, delta ti
 		At:       l.Now() + in,
 		Duration: dur,
 		Delta:    delta,
-	}).Schedule(l.scenario.B.Eng())
+	}).Schedule(line.Eng())
 	return nil
 }
 
@@ -262,7 +262,7 @@ func (l *Lab) InjectInstability(provider string, dir Direction, in, dur time.Dur
 		SpikeCap:       peakExtra,
 		MinorExtraMean: time.Millisecond,
 		MinorExtraStd:  1500 * time.Microsecond,
-	}).Schedule(l.scenario.B.Eng())
+	}).Schedule(line.Eng())
 	return nil
 }
 
@@ -273,6 +273,6 @@ func (l *Lab) InjectLossBurst(provider string, dir Direction, in, dur time.Durat
 	if err != nil {
 		return err
 	}
-	(&events.LossBurst{Line: line, At: l.Now() + in, Duration: dur, Loss: loss}).Schedule(l.scenario.B.Eng())
+	(&events.LossBurst{Line: line, At: l.Now() + in, Duration: dur, Loss: loss}).Schedule(line.Eng())
 	return nil
 }
