@@ -45,6 +45,14 @@ func BenchmarkObsCounter(b *testing.B) { perf.BenchObsCounter(b) }
 // bucketing plus two atomic adds).
 func BenchmarkObsHistogram(b *testing.B) { perf.BenchObsHistogram(b) }
 
+// BenchmarkFlowEmit measures one flow-table packet emission (wheel batch
+// drain + in-place stamp + send) over a live population of flows.
+func BenchmarkFlowEmit(b *testing.B) { perf.BenchFlowEmit(b) }
+
+// BenchmarkFlowArriveDepart measures one flow arrive/emit/depart cycle —
+// the slot churn cost of the free-list flyweight table.
+func BenchmarkFlowArriveDepart(b *testing.B) { perf.BenchFlowArriveDepart(b) }
+
 func benchCfg(seed int64, d time.Duration) experiments.Config {
 	return experiments.Config{Seed: seed, Duration: d}
 }

@@ -1,7 +1,9 @@
 // Command tango-bench is the perf-regression harness's CLI face: it runs
-// the dataplane micro-benchmarks (encap, decap, link traversal) and the
+// the dataplane micro-benchmarks (encap, decap, link traversal), the
 // scheduler micro-benchmarks (timing wheel vs. the preserved binary-heap
-// reference, at 10k pending events) through testing.Benchmark, optionally
+// reference, at 10k pending events), and the flow-table micros (steady
+// emit and arrive/depart churn over a live population — see the flows
+// field in BENCH.json) through testing.Benchmark, optionally
 // times the full E2/E10 experiment reproductions and the whole suite
 // serial-vs-parallel, and emits the results as machine-readable JSON for
 // CI to archive and diff across commits.
@@ -89,12 +91,16 @@ type ShardResult struct {
 	ChecksPass bool    `json:"checks_pass"`
 }
 
-// Report is the BENCH.json schema. GOMAXPROCS and Shards are recorded so
-// perf history stays comparable across machines and shard counts.
+// Report is the BENCH.json schema. GOMAXPROCS, Shards, and Flows are
+// recorded so perf history stays comparable across machines, shard
+// counts, and flow-table populations.
 type Report struct {
-	GoVersion   string             `json:"go_version,omitempty"`
-	GOMAXPROCS  int                `json:"gomaxprocs,omitempty"`
-	Shards      int                `json:"shards,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	// Flows is the flow-table population behind the FlowEmit and
+	// FlowArriveDepart micros.
+	Flows       int                `json:"flows,omitempty"`
 	Micro       []MicroResult      `json:"micro"`
 	Experiments []ExperimentResult `json:"experiments,omitempty"`
 	Suite       *SuiteResult       `json:"suite,omitempty"`
@@ -145,9 +151,11 @@ func realMain() int {
 		{"Cancel10kHeap", perf.BenchCancelHeap},
 		{"ObsCounter", perf.BenchObsCounter},
 		{"ObsHistogram", perf.BenchObsHistogram},
+		{"FlowEmit", perf.BenchFlowEmit},
+		{"FlowArriveDepart", perf.BenchFlowArriveDepart},
 	}
 
-	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Shards: *shards}
+	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Shards: *shards, Flows: perf.FlowBenchFlows}
 	regressed := false
 	for _, m := range micro {
 		res := testing.Benchmark(m.fn)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	tango-lab [-run e1,e2,...|all] [-seed N] [-duration 2h] [-csv DIR]
-//	          [-parallel N] [-shards N] [-sites N]
+//	          [-parallel N] [-shards N] [-sites N] [-flows N]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints a table, the paper-vs-measured checks, and
@@ -18,13 +18,15 @@
 // isolated, so the reports are byte-identical to a serial run; output is
 // buffered and printed in experiment order once all results are in.
 //
-// -shards N runs the sharding-aware experiments (e2, e10, e11, e12) on a
-// partitioned network with N worker goroutines advancing the partitions
-// in lock-stepped epochs. The partition layout is fixed by topology and
-// seed, so any N produces the same report as -shards 1 — only wall-clock
-// time changes. e12, the 64-site / 10k-tunnel storm scale test, is not
-// part of 'all' (it runs minutes, not seconds); select it explicitly
-// with -run e12, and shrink it with -sites when smoke-testing.
+// -shards N runs the sharding-aware experiments (e2, e10, e11, e12, e13)
+// on a partitioned network with N worker goroutines advancing the
+// partitions in lock-stepped epochs. The partition layout is fixed by
+// topology and seed, so any N produces the same report as -shards 1 —
+// only wall-clock time changes. e12, the 64-site / 10k-tunnel storm
+// scale test, and e13, the million-concurrent-flow SLO run on the same
+// mesh, are not part of 'all' (they run minutes, not seconds); select
+// them explicitly with -run e12 or -run e13, and shrink them with
+// -sites and -flows when smoke-testing.
 package main
 
 import (
@@ -52,13 +54,14 @@ func main() {
 
 func realMain() int {
 	var (
-		run        = flag.String("run", "all", "comma-separated experiment ids (e1..e11) or 'all'")
+		run        = flag.String("run", "all", "comma-separated experiment ids (e1..e13) or 'all' (= e1..e11; e12/e13 are opt-in)")
 		seed       = flag.Int64("seed", 1, "random seed (equal seeds reproduce exactly)")
 		duration   = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
 		csvDir     = flag.String("csv", "", "directory to write figure series CSVs into")
 		parallel   = flag.Int("parallel", 1, "run up to N experiments concurrently (<=0: one per CPU)")
 		shards     = flag.Int("shards", 0, "advance sharding-aware experiments on N workers (0 = classic single engine)")
-		sites      = flag.Int("sites", 0, "scale e12's wide mesh to N sites (0 = the full 64)")
+		sites      = flag.Int("sites", 0, "scale e12/e13's wide mesh to N sites (0 = the full 64)")
+		flows      = flag.Int("flows", 0, "scale e13's concurrent flow population (0 = the full 1M)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -92,7 +95,7 @@ func realMain() int {
 		}()
 	}
 
-	cfg := experiments.Config{Seed: *seed, Duration: *duration, Shards: *shards, Sites: *sites}
+	cfg := experiments.Config{Seed: *seed, Duration: *duration, Shards: *shards, Sites: *sites, Flows: *flows}
 	drivers := map[string]func(experiments.Config) *experiments.Result{
 		"e1":  experiments.E1PathDiscovery,
 		"e2":  experiments.E2OWDComparison,
@@ -106,6 +109,7 @@ func realMain() int {
 		"e10": experiments.E10MeshOverlay,
 		"e11": experiments.E11Failover,
 		"e12": experiments.E12ShardedStorm,
+		"e13": experiments.E13FlowStorm,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
 

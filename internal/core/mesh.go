@@ -194,6 +194,23 @@ func (m *Mesh) Sites() []string { return m.Table.Sites() }
 // Member returns the site's edge server facing peer, or nil.
 func (m *Mesh) Member(site, peer string) *Site { return m.members[site][peer] }
 
+// MembersOf returns the site's member edge servers sorted by the peer
+// they face — a deterministic enumeration (the members map would leak
+// iteration order) for callers wiring per-member state such as flow
+// endpoints.
+func (m *Mesh) MembersOf(site string) []*Site {
+	peers := make([]string, 0, len(m.members[site]))
+	for peer := range m.members[site] {
+		peers = append(peers, peer)
+	}
+	sort.Strings(peers)
+	out := make([]*Site, len(peers))
+	for i, peer := range peers {
+		out[i] = m.members[site][peer]
+	}
+	return out
+}
+
 // Relay returns the site's relay program (for stats inspection).
 func (m *Mesh) Relay(site string) *dataplane.Relay { return m.relays[site] }
 

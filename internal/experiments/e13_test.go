@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// e13Smoke is the CI-sized E13: a fraction of the wide mesh with a few
+// thousand concurrent flows — big enough that the wheel drains real
+// batches on every partition, small enough for the race detector.
+func e13Smoke(seed int64, shards int) *Result {
+	return E13FlowStorm(Config{
+		Seed:     seed,
+		Sites:    12,
+		Flows:    3000,
+		Duration: 3 * time.Second,
+		Shards:   shards,
+	})
+}
+
+// TestE13SmokeShardInvariant extends the shard-invariance contract to
+// the flow table: the per-class counters and histograms are the union
+// of commuting atomic updates and every flow slot is touched by exactly
+// one sending and one receiving partition, so a 1-worker and an
+// N-worker run must agree bit-for-bit on the Result and the journal.
+func TestE13SmokeShardInvariant(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base := e13Smoke(seed, 1)
+			requirePassed(t, base)
+			got := e13Smoke(seed, 2)
+			if base.Trace != got.Trace {
+				t.Errorf("E13 trace journal diverged between 1 and 2 workers")
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("E13 Result diverged between 1 and 2 workers:\n--- workers=1\n%s\n--- workers=2\n%s",
+					renderResult(base), renderResult(got))
+			}
+		})
+	}
+}

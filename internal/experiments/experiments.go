@@ -153,6 +153,9 @@ type Config struct {
 	// deployment; CI smoke runs a fraction of that). Other experiments
 	// have fixed topologies and ignore it.
 	Sites int
+	// Flows scales E13's concurrent flow population (0 = the full one
+	// million). Other experiments ignore it.
+	Flows int
 }
 
 func (c Config) probe() time.Duration {

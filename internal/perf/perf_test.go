@@ -45,6 +45,35 @@ func TestObsHistogramZeroAlloc(t *testing.T) {
 	assertZeroAlloc(t, "BenchObsHistogram", BenchObsHistogram)
 }
 
+// The flyweight flow table carries the workload at edge scale, so its
+// steady-state paths — batched emit through the wheel and the full
+// arrive/emit/deliver/depart lifecycle — get the same teeth as the
+// packet path.
+
+func TestFlowEmitZeroAlloc(t *testing.T) { assertZeroAlloc(t, "BenchFlowEmit", BenchFlowEmit) }
+func TestFlowArriveDepartZeroAlloc(t *testing.T) {
+	assertZeroAlloc(t, "BenchFlowArriveDepart", BenchFlowArriveDepart)
+}
+
+// TestFlowMemoryPerFlow10x pins the flyweight claim: retained heap per
+// concurrent flow must be at least 10x smaller than the per-AppGen
+// object model it replaces.
+func TestFlowMemoryPerFlow10x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping memory measurement in -short mode")
+	}
+	table, appgen := FlowMemoryPerFlow()
+	t.Logf("bytes per flow: flow table %.1f, per-AppGen baseline %.1f (%.1fx)",
+		table, appgen, appgen/table)
+	if table <= 0 || appgen <= 0 {
+		t.Fatalf("degenerate measurement: table %.1f, appgen %.1f", table, appgen)
+	}
+	if appgen < 10*table {
+		t.Fatalf("memory per flow %.1fB vs baseline %.1fB: reduction %.1fx < 10x",
+			table, appgen, appgen/table)
+	}
+}
+
 // Wrappers so `go test -bench` in this package reports the same numbers
 // the assertions check.
 
@@ -57,3 +86,7 @@ func BenchmarkCancel(b *testing.B)        { BenchCancel(b) }
 func BenchmarkCancelHeap(b *testing.B)    { BenchCancelHeap(b) }
 func BenchmarkObsCounter(b *testing.B)    { BenchObsCounter(b) }
 func BenchmarkObsHistogram(b *testing.B)  { BenchObsHistogram(b) }
+func BenchmarkFlowEmit(b *testing.B)      { BenchFlowEmit(b) }
+func BenchmarkFlowArriveDepart(b *testing.B) {
+	BenchFlowArriveDepart(b)
+}

@@ -7,7 +7,9 @@ package workload
 
 import (
 	"encoding/binary"
+	"fmt"
 	"net/netip"
+	"slices"
 	"time"
 
 	"tango/internal/dataplane"
@@ -71,10 +73,14 @@ type AppGen struct {
 	sw   *dataplane.Switch
 	tick *sim.Ticker
 
-	seq      uint32
-	sentAt   map[uint32]sim.Time
-	Records  []AppRecord
-	Pending  int
+	seq       uint32
+	sentAt    map[uint32]sim.Time
+	delivered map[uint32]bool
+	Records   []AppRecord
+	Pending   int
+	// Dups counts duplicate deliveries of already-matched packets
+	// (legacy sink mode).
+	Dups     uint64
 	template []byte
 
 	// recvEng, when set by BindSink, switches the sink to receiver-side
@@ -99,8 +105,13 @@ const AppPort = 7001
 
 // NewAppGen starts a stream of payloadSize-byte packets every interval.
 // Call Sink on the receiving site's delivery hook to complete the loop.
+// payloadSize must be at least 4 bytes — the sequence number is stamped
+// into the first 4 payload bytes — and NewAppGen panics otherwise.
 func NewAppGen(eng *sim.Engine, sw *dataplane.Switch, src, dst netip.Addr, interval time.Duration, payloadSize int) *AppGen {
-	g := &AppGen{eng: eng, sw: sw, sentAt: make(map[uint32]sim.Time)}
+	if payloadSize < 4 {
+		panic(fmt.Sprintf("workload: NewAppGen payload %dB cannot carry the 4-byte sequence number", payloadSize))
+	}
+	g := &AppGen{eng: eng, sw: sw, sentAt: make(map[uint32]sim.Time), delivered: make(map[uint32]bool)}
 	buf := packet.NewSerializeBuffer()
 	pay := packet.Payload(make([]byte, payloadSize))
 	udp := &packet.UDP{SrcPort: 7000, DstPort: AppPort}
@@ -154,9 +165,17 @@ func (g *AppGen) Sink(inner []byte) bool {
 	}
 	sent, ok := g.sentAt[seq]
 	if !ok {
+		if g.delivered[seq] {
+			// A duplicate of a packet that already matched is still this
+			// generator's traffic: consume it (counted, not re-recorded)
+			// rather than reporting it foreign.
+			g.Dups++
+			return true
+		}
 		return false
 	}
 	delete(g.sentAt, seq)
+	g.delivered[seq] = true
 	g.Pending--
 	now := g.eng.Now()
 	rec := AppRecord{Seq: seq, SentAt: sent, RecvAt: now, Latency: now - sent}
@@ -202,12 +221,48 @@ func (g *AppGen) FinalRecords() []AppRecord {
 	return out
 }
 
+func cmpRecords(a, b AppRecord) int {
+	switch {
+	case a.SentAt != b.SentAt:
+		if a.SentAt < b.SentAt {
+			return -1
+		}
+		return 1
+	case a.Seq != b.Seq:
+		if a.Seq < b.Seq {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortRecordsInversionBound caps how disordered a trace may be before
+// sortRecords abandons insertion sort: heavily reordered BindSink traces
+// (map-iteration tails, large reorder windows) would otherwise make it
+// O(n²).
+const sortRecordsInversionBound = 16
+
 func sortRecords(rs []AppRecord) {
-	// Insertion-friendly ordering by send time then seq; traces are
-	// nearly sorted already.
+	// Traces are usually nearly sorted (records joined in send order with
+	// a short out-of-order tail), where insertion sort beats a general
+	// sort. Count adjacent inversions first and fall back to
+	// slices.SortFunc when the trace is genuinely disordered.
+	inv := 0
 	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && (rs[j].SentAt < rs[j-1].SentAt ||
-			(rs[j].SentAt == rs[j-1].SentAt && rs[j].Seq < rs[j-1].Seq)); j-- {
+		if cmpRecords(rs[i], rs[i-1]) < 0 {
+			if inv++; inv > sortRecordsInversionBound {
+				slices.SortFunc(rs, cmpRecords)
+				return
+			}
+		}
+	}
+	if inv == 0 {
+		return
+	}
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && cmpRecords(rs[j], rs[j-1]) < 0; j-- {
 			rs[j], rs[j-1] = rs[j-1], rs[j]
 		}
 	}
