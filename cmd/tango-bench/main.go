@@ -11,7 +11,7 @@
 // Usage:
 //
 //	tango-bench [-out BENCH.json] [-full] [-check] [-parallel N]
-//	            [-shards N] [-e12] [-sites N]
+//	            [-shards N] [-e12] [-e14] [-sites N]
 //	            [-history BENCH_HISTORY.json] [-compare FILE] [-tolerance 0.20]
 //
 // -check exits non-zero if any micro-benchmark allocates in steady state
@@ -24,8 +24,11 @@
 // the report metadata; CI runs the {1, 4} matrix. -e12 times the full
 // 64-site / 10k-tunnel E12 at 1 worker vs. 8 and reports the speedup —
 // with -check, on a machine with 8+ CPUs, a speedup below 3x fails.
-// Every report records GOMAXPROCS so numbers stay comparable across
-// machines and shard counts.
+// -e14 runs a reduced E14 discovery sweep (a generated internet swept
+// by concurrent discoverers, scored against valley-free ground truth)
+// and, with -check, fails if any of its checks fail. Every report
+// records GOMAXPROCS so numbers stay comparable across machines and
+// shard counts.
 //
 // -history appends this run (git SHA, timestamp, full report) to a JSON
 // log so numbers accumulate across commits; pass -history ” to skip.
@@ -131,7 +134,8 @@ func realMain() int {
 		parallel  = flag.Int("parallel", 0, "also time the full suite serial vs. N workers (0 = skip)")
 		shards    = flag.Int("shards", 0, "also run a reduced E12 storm mesh on N shard workers as a smoke test (0 = skip)")
 		e12       = flag.Bool("e12", false, "also time the full E12 scale experiment at 1 shard worker vs. 8")
-		sites     = flag.Int("sites", 0, "override E12's site count for -shards/-e12 (0 = defaults: 12 smoke, 64 full)")
+		e14       = flag.Bool("e14", false, "also run a reduced E14 discovery sweep as a smoke test")
+		sites     = flag.Int("sites", 0, "override the site count for -shards/-e12/-e14 (0 = defaults: 12 smoke, 64 full, 16 sweep)")
 		history   = flag.String("history", "BENCH_HISTORY.json", "append (sha, time, report) to this JSON log ('' = skip)")
 		compare   = flag.String("compare", "", "baseline report to diff against; regressions exit non-zero")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression for -compare")
@@ -242,6 +246,27 @@ func realMain() int {
 		if runtime.NumCPU() >= 8 && sr.Speedup < 3.0 {
 			fmt.Fprintf(os.Stderr, "FAIL: E12 speedup %.2fx at 8 workers is below the 3x bar on a %d-CPU machine\n",
 				sr.Speedup, runtime.NumCPU())
+			regressed = true
+		}
+	}
+
+	if *e14 {
+		sweepSites := *sites
+		if sweepSites == 0 {
+			sweepSites = 16
+		}
+		start := time.Now()
+		res := experiments.E14DiscoverySweep(experiments.Config{Seed: 1, Sites: sweepSites, Shards: 4})
+		elapsed := time.Since(start)
+		rep.Experiments = append(rep.Experiments, ExperimentResult{
+			Name:        "E14SweepSmoke",
+			WallClockMs: float64(elapsed.Nanoseconds()) / 1e6,
+			ChecksPass:  res.Passed(),
+		})
+		fmt.Printf("E14 sweep smoke (%d sites) %8.0f ms wall-clock  checks pass: %v\n",
+			sweepSites, float64(elapsed.Milliseconds()), res.Passed())
+		if !res.Passed() {
+			fmt.Fprintln(os.Stderr, "FAIL: E14 sweep smoke checks failed")
 			regressed = true
 		}
 	}

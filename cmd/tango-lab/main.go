@@ -23,10 +23,12 @@
 // partitions in lock-stepped epochs. The partition layout is fixed by
 // topology and seed, so any N produces the same report as -shards 1 —
 // only wall-clock time changes. e12, the 64-site / 10k-tunnel storm
-// scale test, and e13, the million-concurrent-flow SLO run on the same
-// mesh, are not part of 'all' (they run minutes, not seconds); select
-// them explicitly with -run e12 or -run e13, and shrink them with
-// -sites and -flows when smoke-testing.
+// scale test, e13, the million-concurrent-flow SLO run on the same
+// mesh, and e14, the discovery sweep over a generated 521-AS internet,
+// are not part of 'all' (they run minutes, not seconds); select them
+// explicitly with -run e12/e13/e14, and shrink them with -sites and
+// -flows when smoke-testing. For e14, -shards sets the chunk-runner
+// worker count and -sites the generated stub-site count.
 package main
 
 import (
@@ -54,7 +56,7 @@ func main() {
 
 func realMain() int {
 	var (
-		run        = flag.String("run", "all", "comma-separated experiment ids (e1..e13) or 'all' (= e1..e11; e12/e13 are opt-in)")
+		run        = flag.String("run", "all", "comma-separated experiment ids (e1..e14) or 'all' (= e1..e11; e12/e13/e14 are opt-in)")
 		seed       = flag.Int64("seed", 1, "random seed (equal seeds reproduce exactly)")
 		duration   = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
 		csvDir     = flag.String("csv", "", "directory to write figure series CSVs into")
@@ -110,6 +112,7 @@ func realMain() int {
 		"e11": experiments.E11Failover,
 		"e12": experiments.E12ShardedStorm,
 		"e13": experiments.E13FlowStorm,
+		"e14": experiments.E14DiscoverySweep,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
 

@@ -37,6 +37,10 @@ type Speaker struct {
 	Stats struct {
 		BestChanges uint64
 		Withdrawals uint64
+		// PolicySuppressed counts exports the Gao-Rexford valley-free
+		// rule refused (a peer- or provider-learned route headed
+		// anywhere but a customer).
+		PolicySuppressed uint64
 	}
 }
 
@@ -183,6 +187,16 @@ func (sp *Speaker) localPrefFor(rel Relation) uint32 {
 	if sp.LocalPrefFor != nil {
 		return sp.LocalPrefFor(rel)
 	}
+	return DefaultLocalPref(rel)
+}
+
+// DefaultLocalPref is the Gao-Rexford import preference: customer routes
+// above peer routes above provider routes. Combined with the valley-free
+// export rule this guarantees convergence (the classic stable-routing
+// conditions) and means a speaker's best route is always its most
+// re-exportable one — the property the generated-topology ground-truth
+// enumeration in internal/topo relies on.
+func DefaultLocalPref(rel Relation) uint32 {
 	switch rel {
 	case RelCustomer:
 		return 200
@@ -291,6 +305,7 @@ func (sp *Speaker) exportRoute(s *Session, best *Route) *Route {
 	if best.FromSession != nil {
 		from := best.FromSession.cfg.Relation
 		if (from == RelProvider || from == RelPeer) && s.cfg.Relation != RelCustomer {
+			sp.Stats.PolicySuppressed++
 			return nil
 		}
 	}

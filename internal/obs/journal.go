@@ -32,6 +32,11 @@ const (
 	// KindViolation is a chaos invariant failing; Target is the
 	// invariant name.
 	KindViolation
+	// KindDiscovery is one §4.1 discovery round observing (or failing to
+	// observe) a path: A is the round index, B the observed AS-path
+	// length (0 on the terminating round), V the adjacent provider's ASN
+	// (0 on termination), Target "d/<pair>/<src>-><dst>".
+	KindDiscovery
 )
 
 // String returns the stable wire name used in JSON exposition.
@@ -49,6 +54,8 @@ func (k Kind) String() string {
 		return "queue_drop"
 	case KindViolation:
 		return "violation"
+	case KindDiscovery:
+		return "discovery"
 	default:
 		return "unknown"
 	}

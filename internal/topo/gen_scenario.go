@@ -1,0 +1,197 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tango/internal/addr"
+	"tango/internal/bgp"
+	"tango/internal/simnet"
+)
+
+// Generated-internet scenario: instantiates an ASGraph as a running
+// simulation — one speaker+node per AS, every adjacency wired in both
+// planes with the graph's delay — and deploys a Tango edge server behind
+// each requested site, the way the mesh scenarios put edge servers behind
+// their POPs. Sites play the POP role: their provider-facing sessions
+// strip the edge's private ASN and scrub action communities, so the
+// paper's discovery knob (64600:<asn>) is interpreted exactly once, by
+// the site the probe enters the transit core through.
+
+const (
+	genEdgeLinkDelay    = 200 * time.Microsecond
+	genEdgeSessionDelay = time.Millisecond
+)
+
+// GenScenarioConfig parameterizes NewGenScenario.
+type GenScenarioConfig struct {
+	// Graph generates the AS-level topology.
+	Graph GenConfig
+	// Shards, when positive, builds the simulation over a partitioned
+	// network with that many worker goroutines. The layout is a function
+	// of the graph only (see GenPartition). Discovery sweeps drive the
+	// coordinator in coupled mode — the Discoverer's round callbacks read
+	// the observer's RIB across partitions, which parallel epochs forbid
+	// — so Shards changes construction, never event order.
+	Shards int
+	// EdgeSites lists the site indices (into the graph's node order) that
+	// get a Tango edge server. At most 800 (private edge ASNs are carved
+	// from 64701 up).
+	EdgeSites []int
+	// MRAI paces the transit sessions (default 2 s; the edge-to-site
+	// sessions run at 1 s like the mesh scenarios).
+	MRAI time.Duration
+}
+
+// GenScenario is a built generated internet.
+type GenScenario struct {
+	B *Builder
+	G *ASGraph
+	// ASes indexes the built ASes exactly like the graph's node order.
+	ASes []*AS
+	// Edges and Hosts map a site index to its Tango edge server and the
+	// host prefix it originates.
+	Edges map[int]*AS
+	Hosts map[int]addr.Prefix
+	// EdgeSites is the deduplicated, ascending site list actually built.
+	EdgeSites []int
+	// Layout is the partition layout (zero value when Shards == 0).
+	Layout Partition
+
+	probeBase addr.Prefix
+}
+
+func edgeNodeName(site GenAS) string { return "ex-" + site.Name }
+
+// GenPartition derives the partition graph of a generated scenario
+// without building it: every AS plus every edge server, with each
+// adjacency's floor set by its link delay (the session delay equals the
+// link delay, so the same floor bounds both planes). Generated transit
+// delays are all >= 5 ms, so every AS lands in its own partition and the
+// edge servers (200 µs links, below the cut floor) glue to their sites.
+func GenPartition(g *ASGraph, edgeSites []int) Partition {
+	nodes := make([]string, 0, len(g.ASes)+len(edgeSites))
+	for _, a := range g.ASes {
+		nodes = append(nodes, a.Name)
+	}
+	edges := make([]PartEdge, 0, len(g.Edges)+len(edgeSites))
+	for _, e := range g.Edges {
+		edges = append(edges, PartEdge{
+			A: g.ASes[e.A].Name, B: g.ASes[e.B].Name,
+			MinDelayAB: e.Delay, MinDelayBA: e.Delay,
+		})
+	}
+	for _, s := range edgeSites {
+		name := edgeNodeName(g.ASes[s])
+		nodes = append(nodes, name)
+		d := min(genEdgeLinkDelay, genEdgeSessionDelay)
+		edges = append(edges, PartEdge{A: name, B: g.ASes[s].Name, MinDelayAB: d, MinDelayBA: d})
+	}
+	return PartitionGraph(g.Cfg.Seed, nodes, edges, 0, 0)
+}
+
+// NewGenScenario generates the graph and builds it as a simulation.
+func NewGenScenario(cfg GenScenarioConfig) (*GenScenario, error) {
+	g, err := Gen(cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	sites := append([]int(nil), cfg.EdgeSites...)
+	sort.Ints(sites)
+	sites = dedupInts(sites)
+	if len(sites) > 800 {
+		return nil, fmt.Errorf("topo: %d edge sites exceed the 800 private-ASN budget", len(sites))
+	}
+	stubBase := cfg.Graph.Tier1 + cfg.Graph.Tier2
+	for _, s := range sites {
+		if s < stubBase || s >= len(g.ASes) {
+			return nil, fmt.Errorf("topo: edge site index %d is not a stub site (want [%d, %d))",
+				s, stubBase, len(g.ASes))
+		}
+	}
+	mrai := cfg.MRAI
+	if mrai == 0 {
+		mrai = 2 * time.Second
+	}
+
+	var b *Builder
+	var layout Partition
+	if cfg.Shards > 0 {
+		layout = GenPartition(g, sites)
+		b = NewShardedBuilder(cfg.Graph.Seed, layout)
+		b.W.Coord().SetWorkers(cfg.Shards)
+	} else {
+		b = NewBuilder(cfg.Graph.Seed)
+	}
+	m := &GenScenario{
+		B: b, G: g,
+		Edges: map[int]*AS{}, Hosts: map[int]addr.Prefix{},
+		EdgeSites: sites,
+		Layout:    layout,
+		probeBase: addr.MustParsePrefix("2001:db8:9000::/36"),
+	}
+	for i, a := range g.ASes {
+		m.ASes = append(m.ASes, b.AddAS(a.Name, a.ASN, uint32(1+i), 0))
+	}
+	for _, e := range g.Edges {
+		o := WireOpts{
+			RelAB:        e.RelAB,
+			DelayAB:      simnet.FixedDelay(e.Delay),
+			DelayBA:      simnet.FixedDelay(e.Delay),
+			SessionDelay: e.Delay,
+			MRAI:         mrai,
+		}
+		if g.ASes[e.A].Tier == GenStub && e.RelAB == bgp.RelProvider {
+			// The site is the probe's POP: strip the tenant edge's private
+			// ASN and apply-then-scrub its action communities on the way
+			// into the core.
+			o.StripPrivateA2B = true
+			o.ScrubA2B = true
+		}
+		b.Wire(m.ASes[e.A], m.ASes[e.B], o)
+	}
+
+	hostBase := addr.MustParsePrefix("2001:db8:8000::/36")
+	dc := simnet.FixedDelay(genEdgeLinkDelay)
+	for k, s := range sites {
+		edge := b.AddAS(edgeNodeName(g.ASes[s]), bgp.ASN(64701+k), uint32(5001+k), 0)
+		lnk, _, _ := b.Wire(edge, m.ASes[s], WireOpts{
+			RelAB:   bgp.RelProvider,
+			DelayAB: dc, DelayBA: dc,
+			SessionDelay: genEdgeSessionDelay,
+			MRAI:         time.Second,
+		})
+		if err := DefaultRoute(edge, lnk); err != nil {
+			return nil, err
+		}
+		host, err := hostBase.Subnet(48, k)
+		if err != nil {
+			return nil, fmt.Errorf("topo: host prefix for edge site %d: %w", s, err)
+		}
+		edge.Speaker.Originate(host)
+		m.Edges[s] = edge
+		m.Hosts[s] = host
+	}
+	return m, nil
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ProbePrefix returns the i-th discovery probe prefix (i < 4096). Each
+// concurrent discovery in a sweep announces its own probe, so per-pair
+// suppression communities never interfere.
+func (m *GenScenario) ProbePrefix(i int) (addr.Prefix, error) {
+	return m.probeBase.Subnet(48, i)
+}
+
+// Run advances virtual time by d.
+func (m *GenScenario) Run(d time.Duration) { m.B.W.Run(m.B.W.Now() + d) }
