@@ -1,9 +1,11 @@
 // Command tango-bench is the perf-regression harness's CLI face: it runs
 // the dataplane micro-benchmarks (encap, decap, link traversal), the
 // scheduler micro-benchmarks (timing wheel vs. the preserved binary-heap
-// reference, at 10k pending events), and the flow-table micros (steady
+// reference, at 10k pending events), the flow-table micros (steady
 // emit and arrive/depart churn over a live population — see the flows
-// field in BENCH.json) through testing.Benchmark, optionally
+// field in BENCH.json), and the TE micros (an incremental move
+// evaluation and a full Link-Guided Local Search convergence on a
+// mesh-shaped placement instance) through testing.Benchmark, optionally
 // times the full E2/E10 experiment reproductions and the whole suite
 // serial-vs-parallel, and emits the results as machine-readable JSON for
 // CI to archive and diff across commits.
@@ -157,6 +159,8 @@ func realMain() int {
 		{"ObsHistogram", perf.BenchObsHistogram},
 		{"FlowEmit", perf.BenchFlowEmit},
 		{"FlowArriveDepart", perf.BenchFlowArriveDepart},
+		{"TEMoveEval", perf.BenchTEMoveEval},
+		{"SolverConverge", perf.BenchSolverConverge},
 	}
 
 	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Shards: *shards, Flows: perf.FlowBenchFlows}

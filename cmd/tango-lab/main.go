@@ -18,15 +18,18 @@
 // isolated, so the reports are byte-identical to a serial run; output is
 // buffered and printed in experiment order once all results are in.
 //
-// -shards N runs the sharding-aware experiments (e2, e10, e11, e12, e13)
+// -shards N runs the sharding-aware experiments (e2, e10, e11, e12, e13,
+// e15)
 // on a partitioned network with N worker goroutines advancing the
 // partitions in lock-stepped epochs. The partition layout is fixed by
 // topology and seed, so any N produces the same report as -shards 1 —
 // only wall-clock time changes. e12, the 64-site / 10k-tunnel storm
 // scale test, e13, the million-concurrent-flow SLO run on the same
-// mesh, and e14, the discovery sweep over a generated 521-AS internet,
-// are not part of 'all' (they run minutes, not seconds); select them
-// explicitly with -run e12/e13/e14, and shrink them with -sites and
+// mesh, e14, the discovery sweep over a generated 521-AS internet, and
+// e15, the traffic-engineering comparison of greedy best-path steering
+// against Link-Guided Local Search weights on the capacitated mesh, are
+// not part of 'all' (they run minutes, not seconds); select them
+// explicitly with -run e12/e13/e14/e15, and shrink them with -sites and
 // -flows when smoke-testing. For e14, -shards sets the chunk-runner
 // worker count and -sites the generated stub-site count.
 package main
@@ -56,13 +59,13 @@ func main() {
 
 func realMain() int {
 	var (
-		run        = flag.String("run", "all", "comma-separated experiment ids (e1..e14) or 'all' (= e1..e11; e12/e13/e14 are opt-in)")
+		run        = flag.String("run", "all", "comma-separated experiment ids (e1..e15) or 'all' (= e1..e11; e12/e13/e14/e15 are opt-in)")
 		seed       = flag.Int64("seed", 1, "random seed (equal seeds reproduce exactly)")
 		duration   = flag.Duration("duration", 0, "main measurement window of virtual time (0 = per-experiment default)")
 		csvDir     = flag.String("csv", "", "directory to write figure series CSVs into")
 		parallel   = flag.Int("parallel", 1, "run up to N experiments concurrently (<=0: one per CPU)")
 		shards     = flag.Int("shards", 0, "advance sharding-aware experiments on N workers (0 = classic single engine)")
-		sites      = flag.Int("sites", 0, "scale e12/e13's wide mesh to N sites (0 = the full 64)")
+		sites      = flag.Int("sites", 0, "scale e12/e13/e15's wide mesh to N sites (0 = the full 64)")
 		flows      = flag.Int("flows", 0, "scale e13's concurrent flow population (0 = the full 1M)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -113,6 +116,7 @@ func realMain() int {
 		"e12": experiments.E12ShardedStorm,
 		"e13": experiments.E13FlowStorm,
 		"e14": experiments.E14DiscoverySweep,
+		"e15": experiments.E15TrafficEngineering,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
 

@@ -104,19 +104,38 @@ func (p *MinOWD) Choose(now sim.Time, cur uint8, ests []PathEstimate) uint8 {
 // MinJitter prefers the path with the lowest reported jitter, breaking
 // ties by delay — for interactive applications where variance hurts more
 // than the mean (paper §5: "depending on the application, delay and
-// jitter could have a significant impact").
+// jitter could have a significant impact"). Switches are damped the
+// same way MinOWD's are: an absolute jitter-improvement margin and a
+// minimum dwell time, so two paths trading places by microseconds of
+// measured jitter cannot flap traffic every tick. The margin is
+// absolute (milliseconds): jitter, unlike OWD, is clock-offset free,
+// but near-equal values still make percentages flappy.
 type MinJitter struct {
 	// MaxOWDPenaltyMs bounds how much extra delay is acceptable to buy
 	// lower jitter; a calmer path more than this much slower than the
 	// fastest is not chosen.
 	MaxOWDPenaltyMs float64
+	// HysteresisMs is the absolute jitter improvement (in milliseconds)
+	// required to switch away from the current path.
+	HysteresisMs float64
+	// MinDwell is the minimum time between switches.
+	MinDwell time.Duration
+	// StaleAfter treats estimates older than this as invalid (path
+	// possibly dead); 0 disables.
+	StaleAfter time.Duration
+
+	lastSwitch sim.Time
+	haveCur    bool
 }
 
 // Choose implements Policy.
 func (p *MinJitter) Choose(now sim.Time, cur uint8, ests []PathEstimate) uint8 {
+	usable := func(e *PathEstimate) bool {
+		return e.Valid && (p.StaleAfter <= 0 || now-e.UpdatedAt <= p.StaleAfter)
+	}
 	fastest := -1
 	for i := range ests {
-		if !ests[i].Valid {
+		if !usable(&ests[i]) {
 			continue
 		}
 		if fastest < 0 || ests[i].OWDMs < ests[fastest].OWDMs {
@@ -126,20 +145,46 @@ func (p *MinJitter) Choose(now sim.Time, cur uint8, ests []PathEstimate) uint8 {
 	if fastest < 0 {
 		return cur
 	}
-	best := fastest
+	best := -1
+	var curEst *PathEstimate
 	for i := range ests {
 		e := &ests[i]
-		if !e.Valid {
+		if !usable(e) {
 			continue
+		}
+		if e.ID == cur {
+			curEst = e
 		}
 		if p.MaxOWDPenaltyMs > 0 && e.OWDMs > ests[fastest].OWDMs+p.MaxOWDPenaltyMs {
 			continue
 		}
-		if e.JitterMs < ests[best].JitterMs {
+		if best < 0 || e.JitterMs < ests[best].JitterMs {
 			best = i
 		}
 	}
-	return ests[best].ID
+	if best < 0 {
+		return cur
+	}
+	cand := ests[best].ID
+	if cand == cur {
+		p.haveCur = true
+		return cur
+	}
+	if curEst == nil {
+		// Current path unknown or stale: move immediately.
+		p.lastSwitch = now
+		p.haveCur = true
+		return cand
+	}
+	if p.haveCur && now-p.lastSwitch < p.MinDwell {
+		return cur
+	}
+	if ests[best].JitterMs <= curEst.JitterMs-p.HysteresisMs {
+		p.lastSwitch = now
+		p.haveCur = true
+		return cand
+	}
+	return cur
 }
 
 // Static always uses one path — the "BGP default" baseline when pointed

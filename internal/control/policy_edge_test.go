@@ -114,3 +114,134 @@ func TestMinOWDEdgeCases(t *testing.T) {
 		})
 	}
 }
+
+// jest builds an estimate with an explicit jitter for MinJitter cases.
+func jest(id uint8, owd, jitter float64, at sim.Time) PathEstimate {
+	return PathEstimate{ID: id, OWDMs: owd, JitterMs: jitter, UpdatedAt: at, Valid: true}
+}
+
+// TestMinJitterEdgeCases pins MinJitter's damping: the policy gets the
+// same dwell/hysteresis/staleness treatment as MinOWD, so near-equal
+// jitter readings cannot flap traffic every tick.
+func TestMinJitterEdgeCases(t *testing.T) {
+	type step struct {
+		now  sim.Time
+		cur  uint8
+		ests []PathEstimate
+		want uint8
+	}
+	cases := []struct {
+		name   string
+		policy MinJitter
+		steps  []step
+	}{
+		{
+			// The flap MinJitter used to exhibit: two paths trading places
+			// by a hair of jitter each tick. With hysteresis the policy
+			// settles on path 2 and stays there.
+			name:   "sub-hysteresis wobble does not flap",
+			policy: MinJitter{HysteresisMs: 0.5},
+			steps: []step{
+				{now: 1 * time.Second, cur: 1, want: 2, ests: []PathEstimate{
+					jest(1, 30, 3.0, time.Second), jest(2, 31, 2.0, time.Second),
+				}},
+				{now: 2 * time.Second, cur: 2, want: 2, ests: []PathEstimate{
+					jest(1, 30, 1.9, 2*time.Second), jest(2, 31, 2.1, 2*time.Second),
+				}},
+				{now: 3 * time.Second, cur: 2, want: 2, ests: []PathEstimate{
+					jest(1, 30, 2.0, 3*time.Second), jest(2, 31, 1.8, 3*time.Second),
+				}},
+			},
+		},
+		{
+			// A gain of exactly the margin switches (inclusive compare,
+			// mirroring MinOWD); a hair under holds.
+			name:   "exact hysteresis margin switches, under holds",
+			policy: MinJitter{HysteresisMs: 1.0},
+			steps: []step{
+				{now: time.Second, cur: 1, want: 1, ests: []PathEstimate{
+					jest(1, 30, 3.0, time.Second), jest(2, 30, 2.001, time.Second),
+				}},
+				{now: 2 * time.Second, cur: 1, want: 2, ests: []PathEstimate{
+					jest(1, 30, 3.0, 2*time.Second), jest(2, 30, 2.0, 2*time.Second),
+				}},
+			},
+		},
+		{
+			// Dwell holds a clearly better path until the window expires
+			// (guard is now-lastSwitch < MinDwell, exact expiry may move).
+			name:   "dwell blocks until exact expiry",
+			policy: MinJitter{HysteresisMs: 0.1, MinDwell: 5 * time.Second},
+			steps: []step{
+				{now: time.Second, cur: 1, want: 2, ests: []PathEstimate{
+					jest(1, 30, 5, time.Second), jest(2, 30, 1, time.Second),
+				}},
+				{now: 6*time.Second - time.Millisecond, cur: 2, want: 2, ests: []PathEstimate{
+					jest(1, 30, 0.2, 5*time.Second), jest(2, 30, 5, 5*time.Second),
+				}},
+				{now: 6 * time.Second, cur: 2, want: 1, ests: []PathEstimate{
+					jest(1, 30, 0.2, 6*time.Second), jest(2, 30, 5, 6*time.Second),
+				}},
+			},
+		},
+		{
+			// All estimates stale: hold rather than guess. At the exact
+			// staleness boundary the estimate still counts.
+			name:   "staleness: all stale holds, boundary counts",
+			policy: MinJitter{HysteresisMs: 0.1, StaleAfter: 2 * time.Second},
+			steps: []step{
+				{now: 10 * time.Second, cur: 1, want: 1, ests: []PathEstimate{
+					jest(1, 30, 5, 0), jest(2, 30, 1, time.Second),
+				}},
+				{now: 10 * time.Second, cur: 1, want: 2, ests: []PathEstimate{
+					jest(1, 30, 5, 10*time.Second), jest(2, 30, 1, 8*time.Second),
+				}},
+			},
+		},
+		{
+			// The current path going invalid evacuates immediately, even
+			// mid-dwell and for a sub-hysteresis gain.
+			name:   "current invalid moves immediately despite dwell",
+			policy: MinJitter{HysteresisMs: 5, MinDwell: time.Minute},
+			steps: []step{
+				{now: time.Second, cur: 1, want: 2, ests: []PathEstimate{
+					jest(1, 30, 8, time.Second), jest(2, 30, 1, time.Second),
+				}},
+				{now: 2 * time.Second, cur: 2, want: 1, ests: []PathEstimate{
+					jest(1, 30, 0.9, 2*time.Second),
+					{ID: 2, OWDMs: 30, JitterMs: 1, UpdatedAt: 2 * time.Second, Valid: false},
+				}},
+			},
+		},
+		{
+			// The OWD penalty still gates candidates: a calm path that is
+			// too slow is never chosen, whatever its jitter.
+			name:   "owd penalty excludes calm-but-slow path",
+			policy: MinJitter{MaxOWDPenaltyMs: 2, HysteresisMs: 0.1},
+			steps: []step{
+				{now: time.Second, cur: 1, want: 1, ests: []PathEstimate{
+					jest(1, 30, 2, time.Second), jest(2, 40, 0.1, time.Second),
+				}},
+			},
+		},
+		{
+			// No usable estimates at all: hold current.
+			name:   "no estimates holds current",
+			policy: MinJitter{},
+			steps: []step{
+				{now: time.Second, cur: 7, want: 7, ests: nil},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.policy
+			for i, s := range tc.steps {
+				if got := p.Choose(s.now, s.cur, s.ests); got != s.want {
+					t.Fatalf("step %d: Choose(now=%s, cur=%d) = %d, want %d",
+						i, s.now, s.cur, got, s.want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package control
+
+import (
+	"time"
+
+	"tango/internal/dataplane"
+	"tango/internal/sim"
+	"tango/internal/te"
+)
+
+// TEInstall binds one solver demand to its data-plane install point:
+// the class selector of the originating switch and the tunnel path IDs
+// aligned index-for-index with the demand's candidate paths.
+type TEInstall struct {
+	Demand   int
+	Class    int
+	Selector *dataplane.ClassSelector
+	PathIDs  []uint8
+}
+
+// TEPolicy is the control-plane face of the TE layer: it runs the
+// Link-Guided Local Search solver over the shared placement problem and
+// installs the resulting per-class path weights into every bound class
+// selector — once (Install) or on a cadence (Start), re-solving each
+// tick so refreshed demand rates or capacities take effect.
+//
+// Unlike the per-pair Policy implementations, TEPolicy is global: one
+// instance steers a whole mesh, and the per-pair controllers' decision
+// loops must be left disabled (DecideEvery 0) so they do not overwrite
+// the installed selectors. Everything is deterministic: the solver is a
+// pure function of (problem, seed), and installs mutate only selector
+// weight tables, in demand index order.
+type TEPolicy struct {
+	eng      *sim.Engine
+	solver   *te.Solver
+	installs []TEInstall
+
+	// Refresh, when non-nil, runs before every solve — the hook for
+	// updating demand rates or link capacities in the problem the
+	// solver was built over.
+	Refresh func(now sim.Time)
+	// OnSolve, when non-nil, observes each solve's achieved maximum
+	// utilization (e.g. to feed a gauge).
+	OnSolve func(now sim.Time, maxUtil float64)
+
+	tick   *sim.Ticker
+	counts []int
+
+	Stats struct {
+		Solves   uint64
+		Installs uint64
+	}
+}
+
+// NewTEPolicy builds a policy that drives solver and installs its
+// weights at the given bind points.
+func NewTEPolicy(eng *sim.Engine, solver *te.Solver, installs []TEInstall) *TEPolicy {
+	return &TEPolicy{eng: eng, solver: solver, installs: installs}
+}
+
+// Install runs one solve-and-install pass and returns the achieved
+// maximum link utilization.
+func (p *TEPolicy) Install() float64 {
+	now := p.eng.Now()
+	if p.Refresh != nil {
+		p.Refresh(now)
+	}
+	maxUtil := p.solver.Solve()
+	p.Stats.Solves++
+	for _, ins := range p.installs {
+		p.counts = p.solver.Counts(ins.Demand, p.counts)
+		ins.Selector.SetWeights(ins.Class, ins.PathIDs, p.counts)
+		p.Stats.Installs++
+	}
+	if p.OnSolve != nil {
+		p.OnSolve(now, maxUtil)
+	}
+	return maxUtil
+}
+
+// Start begins the re-solve cadence. On a sharded network the installs
+// mutate selectors owned by other partitions, so Start is only legal on
+// a classic (single-engine) network or while a sharded one is still in
+// coupled mode; E15-style sharded runs call Install before entering
+// parallel epochs instead.
+func (p *TEPolicy) Start(every time.Duration) {
+	if p.tick != nil {
+		p.tick.Stop()
+	}
+	p.tick = sim.NewTicker(p.eng, every, func(sim.Time) { p.Install() })
+}
+
+// Stop halts the cadence.
+func (p *TEPolicy) Stop() {
+	if p.tick != nil {
+		p.tick.Stop()
+	}
+}

@@ -1,0 +1,122 @@
+package control
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/dataplane"
+	"tango/internal/packet"
+	"tango/internal/simnet"
+	"tango/internal/te"
+)
+
+// teFixture: one switch with two tunnels, a class selector, and a
+// one-demand problem whose two single-link paths map to the tunnels.
+type teFixture struct {
+	w      *simnet.Network
+	sw     *dataplane.Switch
+	cs     *dataplane.ClassSelector
+	prob   *te.Problem
+	solver *te.Solver
+	pol    *TEPolicy
+}
+
+func newTEFixture(t *testing.T) *teFixture {
+	t.Helper()
+	w := simnet.New(1)
+	n := w.AddNode("sw", 0)
+	sw := dataplane.NewSwitch(n)
+	sw.AddTunnel(&dataplane.Tunnel{PathID: 1, LocalAddr: mustAddr("2001:db8::1"), RemoteAddr: mustAddr("2001:db8::2")})
+	sw.AddTunnel(&dataplane.Tunnel{PathID: 2, LocalAddr: mustAddr("2001:db8::3"), RemoteAddr: mustAddr("2001:db8::4")})
+	cs := dataplane.NewClassSelector(sw, 3)
+	sw.SetSelector(cs.Select)
+	prob := &te.Problem{
+		Links: []te.Link{{Name: "t1", CapacityBps: 100}, {Name: "t2", CapacityBps: 100}},
+		Demands: []te.Demand{
+			{Name: "pair/class0", RateBps: 100, Paths: [][]int{{0}, {1}}},
+		},
+	}
+	solver := te.NewSolver(prob, 1)
+	pol := NewTEPolicy(w.Eng, solver, []TEInstall{
+		{Demand: 0, Class: 0, Selector: cs, PathIDs: []uint8{1, 2}},
+	})
+	return &teFixture{w: w, sw: sw, cs: cs, prob: prob, solver: solver, pol: pol}
+}
+
+// classedInner builds a class-stamped inner packet with a distinct flow.
+func classedInner(t *testing.T, class uint8, sport uint16) []byte {
+	t.Helper()
+	buf := packet.NewSerializeBuffer()
+	pay := packet.Payload([]byte("x"))
+	udp := &packet.UDP{SrcPort: sport, DstPort: 7002}
+	ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, TrafficClass: class,
+		Src: netip.MustParseAddr("2001:db8:aa::1"), Dst: netip.MustParseAddr("2001:db8:bb::1")}
+	if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}
+
+func TestTEPolicyInstallSpreadsDemand(t *testing.T) {
+	f := newTEFixture(t)
+	util := f.pol.Install()
+	if util != 0.5 {
+		t.Fatalf("Install() max util = %v, want 0.5 (even split over equal links)", util)
+	}
+	if f.pol.Stats.Solves != 1 || f.pol.Stats.Installs != 1 {
+		t.Fatalf("stats: %+v", f.pol.Stats)
+	}
+	// The installed selector must actually spread class-0 flows over
+	// both tunnels.
+	seen := map[uint8]int{}
+	for i := 0; i < 200; i++ {
+		seen[f.cs.Select(classedInner(t, 0, uint16(i))).PathID]++
+	}
+	if seen[1] == 0 || seen[2] == 0 {
+		t.Fatalf("class 0 not spread: %v", seen)
+	}
+	// Classes without a demand keep the fallback (first tunnel).
+	if got := f.cs.Select(classedInner(t, 1, 5)).PathID; got != 1 {
+		t.Fatalf("uninstalled class on path %d, want fallback 1", got)
+	}
+}
+
+// TestTEPolicyCadenceReactsToRefresh pins the re-solve loop: a Refresh
+// hook that rewrites link capacities in place must shift the installed
+// weights at the next tick.
+func TestTEPolicyCadenceReactsToRefresh(t *testing.T) {
+	f := newTEFixture(t)
+	var solves []float64
+	f.pol.OnSolve = func(_ time.Duration, maxUtil float64) { solves = append(solves, maxUtil) }
+	f.pol.Refresh = func(now time.Duration) {
+		if now >= 2*time.Second {
+			// Link t1 degrades to a quarter of its capacity.
+			f.prob.Links[0].CapacityBps = 25
+		}
+	}
+	f.pol.Start(time.Second)
+	f.w.Run(3 * time.Second)
+	f.pol.Stop()
+
+	if len(solves) != 3 {
+		t.Fatalf("got %d solves, want 3", len(solves))
+	}
+	if solves[0] != 0.5 {
+		t.Fatalf("first solve max util %v, want 0.5", solves[0])
+	}
+	// After the degradation: 1 quantum (12.5 bps) on the 25 bps link
+	// (util 0.5), 7 on the healthy one (util 0.875).
+	if solves[2] != 0.875 {
+		t.Fatalf("post-degradation max util %v, want 0.875", solves[2])
+	}
+	counts := f.solver.Counts(0, nil)
+	if counts[0] != 1 || counts[1] != 7 {
+		t.Fatalf("post-degradation counts %v, want [1 7]", counts)
+	}
+	if f.pol.Stats.Solves != 3 {
+		t.Fatalf("solves = %d, want 3", f.pol.Stats.Solves)
+	}
+}

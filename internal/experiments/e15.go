@@ -1,0 +1,520 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tango/internal/bgp"
+	"tango/internal/control"
+	"tango/internal/core"
+	"tango/internal/dataplane"
+	"tango/internal/obs"
+	"tango/internal/simnet"
+	"tango/internal/te"
+	"tango/internal/topo"
+	"tango/internal/workload"
+)
+
+// e15TargetPPS bounds the aggregate flow emission rate, exactly like
+// E13: class intervals stretch by one common factor until the offered
+// packet rate lands near the budget. Demands and capacities are both
+// derived from the stretched rates, so the utilization picture is
+// invariant under the stretch.
+const e15TargetPPS = 40_000
+
+// e15Lead is the head start between flow start and the measurement
+// window: staggered first emissions land and the baseline controllers
+// take their first loaded decisions before utilization is scored.
+const e15Lead = 2 * time.Second
+
+// e15ScarceShare / e15Share set the capacity skew: the fastest provider
+// (P00, the one every greedy min-OWD policy herds onto) gets the scarce
+// share of a site's offered load, every other provider a comfortable
+// share. Total capacity is 2.5x demand, so a spread placement fits at
+// ~0.4 utilization while any single-provider herd oversubscribes.
+const (
+	e15ScarceShare = 0.10
+	e15Share       = 0.16
+)
+
+// e15Flows returns the flow count for one (sender site, receiver site,
+// class) demand — a deterministic skew in 4..16 so the matrix is far
+// from uniform.
+func e15Flows(si, sj, c int) int { return 4 * (1 + (si*5+sj*3+c)%4) }
+
+// e15Demand is one row of the demand matrix: a directed pair and class.
+type e15Demand struct {
+	from, to string
+	class    workload.Class
+	flows    int
+	rateBps  float64 // offered wire rate after the interval stretch
+}
+
+// e15Stats is one sub-run's measured outcome.
+type e15Stats struct {
+	tunnels    int
+	slowdown   int64
+	peakUtil   float64
+	solvedUtil float64 // TE run only: the solver's predicted max util
+	classSent  [workload.NumClasses]uint64
+	classDelvd [workload.NumClasses]uint64
+	owdP99     [workload.NumClasses]int64
+	combP99    int64
+	virtual    time.Duration
+	metrics    map[string]float64
+	trace      string
+}
+
+// pinProviderRoutes pins the forwarding of every tunnel's remote /48 to
+// its provider: sender POP up the provider's trunk, provider hub down to
+// the receiving POP, receiving POP to the owning edge. The scenario's
+// BGP plane re-advertises transit routes without export policy, so after
+// the discovery rounds a POP's best path for a pinned prefix can be a
+// longer detour through another provider or even an edge AS — harmless
+// when links are delay-only, but fatal to capacity accounting, where the
+// TE model (and the experiment's utilization meters) must know exactly
+// which trunk a tunnel loads. Both steering regimes get the same pinned
+// forwarding, so the comparison stays apples-to-apples.
+func pinProviderRoutes(s *topo.MeshScenario, m *core.Mesh) {
+	portTo := func(n *simnet.Node, peer string) *simnet.Port {
+		for _, pt := range n.Ports() {
+			if pt.Peer().Name() == peer {
+				return pt
+			}
+		}
+		panic("experiments: node " + n.Name() + " has no port toward " + peer)
+	}
+	hubByASN := map[bgp.ASN]*simnet.Node{}
+	for _, p := range s.Providers {
+		hubByASN[p.ASN] = p.Node
+	}
+	for _, pk := range s.PairKeys {
+		for k := 0; k < 2; k++ {
+			from, to := pk[0], pk[1]
+			if k == 1 {
+				from, to = pk[1], pk[0]
+			}
+			sender := m.Member(from, to)
+			recv := m.Member(to, from)
+			pop := s.POPs[from].Node
+			rpop := s.POPs[to].Node
+			for i, dp := range sender.OutPaths {
+				pfx, err := recv.PinnedPrefix(uint8(i + 1))
+				if err != nil {
+					panic(err)
+				}
+				hub, ok := hubByASN[dp.ProviderASN]
+				if !ok {
+					panic(fmt.Sprintf("experiments: tunnel provider AS%d is not a scenario provider", dp.ProviderASN))
+				}
+				pop.SetRoute(pfx, portTo(pop, hub.Name()))
+				hub.SetRoute(pfx, portTo(hub, "pop-"+to))
+				rpop.SetRoute(pfx, portTo(rpop, "edge-"+to+":"+from))
+			}
+		}
+	}
+}
+
+// e15Run builds the wide mesh once and measures one steering regime:
+// optimize=false leaves the per-pair min-OWD controllers in charge
+// (greedy best-path, the regime the paper's §5 motivation criticizes),
+// optimize=true disables them and installs Link-Guided Local Search
+// weights through per-class selectors instead. Both regimes see the
+// identical topology, capacities, demand matrix, and probe plane.
+func e15Run(cfg Config, sites, shards int, optimize bool) *e15Stats {
+	probe := cfg.ProbeInterval
+	if probe == 0 {
+		probe = 100 * time.Millisecond // as in E12/E13: data, not probes, is the load
+	}
+	tc := topo.WideMeshConfig(cfg.Seed+15, sites)
+	tc.Shards = shards
+	s, err := topo.NewMeshScenario(tc)
+	if err != nil {
+		panic(err) // fixed config; cannot fail
+	}
+	s.Run(5 * time.Minute)
+	mc := core.MeshConfig{
+		ProbeInterval: probe,
+		MaxRounds:     16,
+		NewPolicy: func(site, peer string) control.Policy {
+			return &control.MinOWD{HysteresisMs: 0.5, MinDwell: time.Second, StaleAfter: 2 * time.Second}
+		},
+	}
+	if !optimize {
+		mc.DecideEvery = time.Second
+	}
+	m, err := core.MeshFromScenario(s, mc)
+	if err != nil {
+		panic(err)
+	}
+	m.Establish()
+	if !m.RunUntilReady(4 * time.Hour) {
+		panic("experiments: wide mesh failed to establish")
+	}
+	pinProviderRoutes(s, m)
+	eng := s.B.Eng()
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal(4096)
+	shardHooks(eng, journal)
+	m.Instrument(reg, journal)
+
+	// Provider order (P00 fastest) and site order index the TE link
+	// array: links[(si*P+pi)*2] is site si's uplink through provider pi,
+	// +1 the downlink toward it.
+	provNames := make([]string, 0, len(s.Providers))
+	for name := range s.Providers {
+		provNames = append(provNames, name)
+	}
+	sort.Strings(provNames)
+	provIdx := map[bgp.ASN]int{}
+	for pi, name := range provNames {
+		provIdx[s.Providers[name].ASN] = pi
+	}
+	siteIdx := map[string]int{}
+	for si, name := range s.SiteNames {
+		siteIdx[name] = si
+	}
+	nProv := len(provNames)
+	up := func(si, pi int) int { return (si*nProv + pi) * 2 }
+	down := func(si, pi int) int { return (si*nProv+pi)*2 + 1 }
+
+	// The demand matrix, in deterministic pair order. The stretch factor
+	// keeps the aggregate near the packet budget (concurrency and the
+	// relative demand skew are untouched), so rates are computed after
+	// it is known.
+	classes := workload.DefaultClasses()
+	var demands []e15Demand
+	totalPPS := 0.0
+	for _, pk := range s.PairKeys {
+		for k := 0; k < 2; k++ {
+			from, to := pk[0], pk[1]
+			if k == 1 {
+				from, to = pk[1], pk[0]
+			}
+			for c := 0; c < workload.NumClasses; c++ {
+				nf := e15Flows(siteIdx[from], siteIdx[to], c)
+				demands = append(demands, e15Demand{from: from, to: to, class: workload.Class(c), flows: nf})
+				totalPPS += float64(nf) * float64(time.Second) / float64(classes[c].Interval)
+			}
+		}
+	}
+	slowdown := int64(1)
+	if sd := int64(math.Ceil(totalPPS / e15TargetPPS)); sd > 1 {
+		slowdown = sd
+	}
+	for c := range classes {
+		classes[c].Interval *= time.Duration(slowdown)
+	}
+	// Wire rate per flow: inner (48B headers + payload) plus the outer
+	// IPv6/UDP/Tango encapsulation (64B), at the stretched cadence.
+	wireBps := func(c workload.Class) float64 {
+		bits := float64(classes[c].Payload+48+64) * 8
+		return bits / classes[c].Interval.Seconds()
+	}
+	dOut := make([]float64, len(s.SiteNames))
+	dIn := make([]float64, len(s.SiteNames))
+	for i := range demands {
+		d := &demands[i]
+		d.rateBps = float64(d.flows) * wireBps(d.class)
+		dOut[siteIdx[d.from]] += d.rateBps
+		dIn[siteIdx[d.to]] += d.rateBps
+	}
+
+	// Capacitate every trunk direction with the skewed shares and build
+	// the matching TE link array. Capacities go in after establishment so
+	// the (uncapacitated) BGP convergence phase is identical either way.
+	links := make([]te.Link, 2*len(s.SiteNames)*nProv)
+	type meterLine struct {
+		line  *simnet.Line
+		gauge *obs.Gauge
+	}
+	lines := make([]meterLine, len(links))
+	for si, site := range s.SiteNames {
+		for pi, prov := range provNames {
+			for dir, li := range [2]int{up(si, pi), down(si, pi)} {
+				share := e15Share
+				if pi == 0 {
+					share = e15ScarceShare
+				}
+				capBps := share * dOut[si]
+				name := "up/" + site + "/" + prov
+				ln := s.Uplink[site][prov]
+				if dir == 1 {
+					capBps = share * dIn[si]
+					name = "down/" + site + "/" + prov
+					ln = s.Trunk[site][prov]
+				}
+				ln.SetCapacity(capBps)
+				links[li] = te.Link{Name: name, CapacityBps: capBps}
+				lines[li] = meterLine{line: ln, gauge: reg.Gauge("tango_link_utilization",
+					"Peak windowed utilization of a capacitated trunk line.", obs.L("line", name))}
+			}
+		}
+	}
+
+	// One flow table per site (E13's ownership pattern): sender-side
+	// emission on the site's partition, receiver-side accounting in the
+	// receiving partition's sink.
+	type boundEp struct {
+		table *workload.FlowTable
+		ep    int
+	}
+	siteFlows := map[string]int{}
+	for _, d := range demands {
+		siteFlows[d.from] += d.flows
+	}
+	tables := make(map[string]*workload.FlowTable, len(s.SiteNames))
+	for _, site := range s.SiteNames {
+		t := workload.NewFlowTable(m.MembersOf(site)[0].Eng(), classes, siteFlows[site])
+		t.Instrument(reg, site)
+		tables[site] = t
+	}
+	eps := map[string]boundEp{}
+	tunnels := 0
+	for _, pk := range s.PairKeys {
+		for k := 0; k < 2; k++ {
+			from, to := pk[0], pk[1]
+			if k == 1 {
+				from, to = pk[1], pk[0]
+			}
+			sender := m.Member(from, to)
+			recv := m.Member(to, from)
+			tunnels += len(sender.OutPaths)
+			src, err := sender.HostAddr()
+			if err != nil {
+				panic(err)
+			}
+			dst, err := recv.HostAddr()
+			if err != nil {
+				panic(err)
+			}
+			ep := tables[from].AddEndpoint(sender.Switch, src, dst)
+			recv.AddSink(tables[from].SinkFor(recv.Eng()))
+			eps[from+":"+to] = boundEp{tables[from], ep}
+		}
+	}
+
+	st := &e15Stats{tunnels: tunnels, slowdown: slowdown}
+
+	if optimize {
+		// Replace each member's controller selector with a per-class
+		// weighted selector and install one solve of the shared problem.
+		// On a sharded network the installs must land before parallel
+		// epochs begin (they mutate selectors owned by other partitions),
+		// so the cadence stays off and the placement is static.
+		prob := &te.Problem{Links: links}
+		var installs []control.TEInstall
+		selectors := map[string]*dataplane.ClassSelector{}
+		pathIDs := map[string][]uint8{}
+		for di := range demands {
+			d := &demands[di]
+			key := d.from + ":" + d.to
+			sender := m.Member(d.from, d.to)
+			cs, ok := selectors[key]
+			if !ok {
+				cs = dataplane.NewClassSelector(sender.Switch, workload.NumClasses)
+				sender.Switch.SetSelector(cs.Select)
+				selectors[key] = cs
+				ids := make([]uint8, len(sender.OutPaths))
+				for i := range sender.OutPaths {
+					ids[i] = uint8(i + 1)
+				}
+				pathIDs[key] = ids
+			}
+			paths := make([][]int, len(sender.OutPaths))
+			for i, dp := range sender.OutPaths {
+				pi, ok := provIdx[dp.ProviderASN]
+				if !ok {
+					panic(fmt.Sprintf("experiments: unknown provider AS%d on %s", dp.ProviderASN, key))
+				}
+				paths[i] = []int{up(siteIdx[d.from], pi), down(siteIdx[d.to], pi)}
+			}
+			prob.Demands = append(prob.Demands, te.Demand{
+				Name:    key + "/" + d.class.String(),
+				RateBps: d.rateBps,
+				Paths:   paths,
+			})
+			installs = append(installs, control.TEInstall{
+				Demand: di, Class: int(d.class), Selector: cs, PathIDs: pathIDs[key],
+			})
+		}
+		solver := te.NewSolver(prob, cfg.Seed+15)
+		pol := control.NewTEPolicy(eng, solver, installs)
+		st.solvedUtil = pol.Install()
+	}
+
+	// Start the standing flows, staggered across each class interval so
+	// emissions spread evenly over the measurement windows.
+	for _, d := range demands {
+		be := eps[d.from+":"+d.to]
+		iv := classes[d.class].Interval
+		for k := 0; k < d.flows; k++ {
+			stagger := time.Duration(int64(k)) * iv / time.Duration(d.flows)
+			if be.table.Start(be.ep, d.class, 1<<31, stagger) < 0 {
+				panic("experiments: standing flow refused below capacity")
+			}
+		}
+	}
+
+	// Utilization meters: per line, on its owning engine, in distinct
+	// slots — the parallel partitions never share state. The window at
+	// e15Lead only resets the accounting (it covers pre-traffic time);
+	// the scored windows follow at 1 s until the stop line.
+	window := cfg.dur(10 * time.Second)
+	stopAt := e15Lead + window
+	peaks := make([]float64, len(lines))
+	for i := range lines {
+		i, ln, g := i, lines[i].line, lines[i].gauge
+		ln.Eng().Schedule(e15Lead, func() { ln.TakeUtilization(ln.Eng().Now()) })
+		for at := e15Lead + time.Second; at <= stopAt; at += time.Second {
+			ln.Eng().Schedule(at, func() {
+				if u := ln.TakeUtilization(ln.Eng().Now()); u > peaks[i] {
+					peaks[i] = u
+					g.Set(u)
+				}
+			})
+		}
+	}
+	for _, site := range s.SiteNames {
+		t := tables[site]
+		t.Eng().Schedule(stopAt, t.Stop)
+	}
+
+	enterParallel(eng)
+	s.Run(stopAt + 5*time.Second) // stop line + drain for in-flight deliveries
+
+	for _, p := range peaks {
+		if p > st.peakUtil {
+			st.peakUtil = p
+		}
+	}
+	var owdH [workload.NumClasses][]*obs.Histogram
+	var allH []*obs.Histogram
+	for _, site := range s.SiteNames {
+		t := tables[site]
+		for c := workload.Class(0); c < workload.NumClasses; c++ {
+			cs := t.ClassStats(c)
+			st.classSent[c] += cs.Sent
+			st.classDelvd[c] += cs.Delivered
+			owdH[c] = append(owdH[c], t.OWDHistogram(c))
+			allH = append(allH, t.OWDHistogram(c))
+		}
+	}
+	for c := workload.Class(0); c < workload.NumClasses; c++ {
+		st.owdP99[c] = combinedQuantile(owdH[c], 0.99)
+	}
+	st.combP99 = combinedQuantile(allH, 0.99)
+	st.virtual = time.Duration(eng.Now())
+	st.metrics = deterministicSnapshot(reg)
+	st.trace = traceJSON(journal)
+	return st
+}
+
+// E15TrafficEngineering is the Link-Guided Local Search payoff
+// experiment: the E12 wide mesh gets capacitated provider trunks (the
+// fastest provider deliberately scarce) and a skewed multi-class demand
+// matrix, then runs twice from one seed — once under the per-pair
+// greedy min-OWD controllers, once under solver-installed per-class
+// path weights. Greedy herds every pair onto the fastest provider,
+// oversubscribes it, and oscillates (the "two to tango" coordination
+// failure at N sites); the optimizer spreads each demand across the
+// pair's discovered path set and must beat greedy on both peak link
+// utilization and p99 one-way delay. Both sub-runs honor cfg.Shards and
+// are deterministic per seed, so the shard-invariance differential
+// covers the whole comparison.
+func E15TrafficEngineering(cfg Config) *Result {
+	r := newResult("E15", "Capacity-aware weighted steering beats greedy best-path under load (§5, §6)")
+
+	sites := cfg.Sites
+	if sites == 0 {
+		sites = 64
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+
+	greedy := e15Run(cfg, sites, shards, false)
+	opt := e15Run(cfg, sites, shards, true)
+
+	ratio := func(st *e15Stats) float64 {
+		var sent, delvd uint64
+		for c := 0; c < workload.NumClasses; c++ {
+			sent += st.classSent[c]
+			delvd += st.classDelvd[c]
+		}
+		if sent == 0 {
+			return 0
+		}
+		return float64(delvd) / float64(sent)
+	}
+
+	r.Rows = append(r.Rows, []string{"quantity", "greedy", "optimized"})
+	for _, row := range [][3]string{
+		{"sites", fmt.Sprint(sites), fmt.Sprint(sites)},
+		{"tunnels", fmt.Sprint(greedy.tunnels), fmt.Sprint(opt.tunnels)},
+		{"interval slowdown", fmt.Sprint(greedy.slowdown), fmt.Sprint(opt.slowdown)},
+		{"peak link utilization", fmt.Sprintf("%.3f", greedy.peakUtil), fmt.Sprintf("%.3f", opt.peakUtil)},
+		{"solver predicted max util", "-", fmt.Sprintf("%.3f", opt.solvedUtil)},
+		{"p99 OWD (all classes)", time.Duration(greedy.combP99).String(), time.Duration(opt.combP99).String()},
+		{"delivered ratio", fmt.Sprintf("%.3f", ratio(greedy)), fmt.Sprintf("%.3f", ratio(opt))},
+	} {
+		r.Rows = append(r.Rows, []string{row[0], row[1], row[2]})
+	}
+	for c := workload.Class(0); c < workload.NumClasses; c++ {
+		r.Rows = append(r.Rows, []string{c.String() + " p99 OWD",
+			time.Duration(greedy.owdP99[c]).String(), time.Duration(opt.owdP99[c]).String()})
+	}
+
+	r.check("greedy herding oversubscribes a trunk", "uncoordinated min-OWD converges on the fastest provider (§5)",
+		greedy.peakUtil > 1.2, "peak utilization %.3f", greedy.peakUtil)
+	r.check("optimized placement fits capacity", "weighted spreading keeps every trunk below saturation",
+		opt.peakUtil < 1.0, "peak utilization %.3f", opt.peakUtil)
+	r.check("solver placement feasible", "LGLS finds a sub-saturation assignment",
+		opt.solvedUtil > 0 && opt.solvedUtil < 1.0, "predicted max util %.3f", opt.solvedUtil)
+	r.check("optimizer beats greedy on max link utilization", "coordinated placement vs. herding",
+		opt.peakUtil < greedy.peakUtil, "%.3f vs %.3f", opt.peakUtil, greedy.peakUtil)
+	r.check("optimizer beats greedy on p99 OWD", "no queueing blowup under the same load",
+		opt.combP99 > 0 && opt.combP99 < greedy.combP99,
+		"%v vs %v", time.Duration(opt.combP99), time.Duration(greedy.combP99))
+	r.check("optimized run delivers its load", "sub-saturation trunks drain every class",
+		ratio(opt) >= 0.9, "delivered ratio %.3f", ratio(opt))
+	r.check("both regimes saw the full tunnel fabric", "the comparison is over identical path sets",
+		greedy.tunnels == opt.tunnels && greedy.tunnels == len(topoPairCount(sites))*2*16,
+		"%d vs %d tunnels", greedy.tunnels, opt.tunnels)
+
+	r.note("capacities derive from the demand matrix (scarce share %.2f on the fastest provider, "+
+		"%.2f elsewhere; total 2.5x demand), so the comparison is scale-free: class cadence is "+
+		"stretched %dx to stay near %d pps aggregate", e15ScarceShare, e15Share, greedy.slowdown, e15TargetPPS)
+	r.VirtualTime = greedy.virtual + opt.virtual
+	r.Metrics = opt.metrics
+	// Both sub-runs' journals participate in the shard-invariance
+	// comparison; the trace is consumed byte-wise, never parsed.
+	r.Trace = greedy.trace + "\n" + opt.trace
+	return r
+}
+
+// topoPairCount mirrors topo.WideMeshConfig's ring-plus-chords pair
+// enumeration so the tunnel-count check scales with cfg.Sites.
+func topoPairCount(n int) [][2]string {
+	var pairs [][2]string
+	seen := map[[2]string]bool{}
+	name := func(i int) string { return fmt.Sprintf("s%02d", i) }
+	for _, off := range []int{1, 3, 9, 19, 27} {
+		if off >= (n+1)/2 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			a, b := name(i), name((i+off)%n)
+			key := [2]string{min(a, b), max(a, b)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pairs = append(pairs, [2]string{a, b})
+		}
+	}
+	return pairs
+}

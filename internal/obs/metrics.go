@@ -148,13 +148,19 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
-// Quantile returns an upper bound on the q-quantile (q in [0,1]) of the
-// observed distribution: the exclusive upper bound of the lowest bucket
-// whose cumulative count reaches ceil(q·count). With log2 buckets the
-// bound is within 2× of the true quantile — the right resolution for
-// SLO checks ("p99 OWD under 250 ms") over millions of observations with
-// 64 words of state. Returns 0 when nothing was observed (or on a nil
-// receiver).
+// Quantile returns an upper bound on the q-quantile of the observed
+// distribution: the exclusive upper bound of the lowest bucket whose
+// cumulative count reaches max(1, ceil(q·count)). The result is always
+// one of the 64 fixed BucketUpperBound values — Quantile never
+// interpolates within a bucket, so equal-count histograms agree exactly
+// and comparisons between runs are bit-stable. Consequences worth
+// relying on: q outside [0,1] is clamped; q=0 reports the first
+// non-empty bucket's bound (the minimum's bucket), q=1 the last
+// non-empty bucket's; with log2 buckets the bound is within 2× of the
+// true quantile — the right resolution for SLO checks ("p99 OWD under
+// 250 ms") over millions of observations with 64 words of state.
+// Returns 0 when nothing was observed (or on a nil receiver), and 0 for
+// any q when every observation was <= 0 (bucket 0's bound).
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0

@@ -77,6 +77,67 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile pins Quantile's contract: the result is always a
+// BucketUpperBound (never interpolated), selected by the lowest bucket
+// whose cumulative count reaches max(1, ceil(q·count)), with q clamped
+// to [0,1] and 0 returned for empty or nil histograms.
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %d, want 0", got)
+	}
+	empty := &Histogram{}
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
+	}
+
+	// Everything in one bucket: every quantile, including the clamped
+	// out-of-range ones, reports that bucket's exclusive upper bound.
+	one := &Histogram{}
+	for i := 0; i < 10; i++ {
+		one.Observe(100) // bucket (64,128], upper bound 128
+	}
+	for _, q := range []float64{-1, 0, 0.01, 0.5, 0.99, 1, 2} {
+		if got := one.Quantile(q); got != 128 {
+			t.Errorf("single-bucket Quantile(%v) = %d, want 128", q, got)
+		}
+	}
+
+	// Non-positive observations land in bucket 0, whose bound is 0.
+	neg := &Histogram{}
+	neg.Observe(-7)
+	neg.Observe(0)
+	if got := neg.Quantile(1); got != 0 {
+		t.Errorf("all-nonpositive Quantile(1) = %d, want bucket 0 bound 0", got)
+	}
+
+	// Two buckets, 9:1 split: the p90 boundary needs ceil(0.9*10)=9
+	// observations, satisfied by the low bucket; p91 crosses into the
+	// high one. No intermediate value is ever reported.
+	split := &Histogram{}
+	for i := 0; i < 9; i++ {
+		split.Observe(3) // bucket (2,4], bound 4
+	}
+	split.Observe(1000) // bucket (512,1024], bound 1024
+	if got := split.Quantile(0.9); got != 4 {
+		t.Errorf("Quantile(0.9) = %d, want 4 (ceil rule keeps it in the low bucket)", got)
+	}
+	if got := split.Quantile(0.91); got != 1024 {
+		t.Errorf("Quantile(0.91) = %d, want 1024", got)
+	}
+	// q=0 still needs one observation (need is floored to 1): the
+	// minimum's bucket, not a made-up zero.
+	if got := split.Quantile(0); got != 4 {
+		t.Errorf("Quantile(0) = %d, want 4", got)
+	}
+	// The top bucket reports MaxInt64 — an honest "unbounded above".
+	top := &Histogram{}
+	top.Observe(math.MaxInt64)
+	if got := top.Quantile(0.5); got != math.MaxInt64 {
+		t.Errorf("top-bucket Quantile = %d, want MaxInt64", got)
+	}
+}
+
 func TestRegistryIdentity(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("x_total", "help", L("site", "ny"), L("path", "1"))

@@ -55,6 +55,18 @@ func TestFlowArriveDepartZeroAlloc(t *testing.T) {
 	assertZeroAlloc(t, "BenchFlowArriveDepart", BenchFlowArriveDepart)
 }
 
+// The TE optimizer's hot ops get the same teeth: an incremental move
+// evaluation (ApplyMove/MaxUtil/UndoMove) and a full steady-state
+// re-solve must both run allocation-free, or the control-plane cadence
+// starts generating garbage proportional to the mesh size.
+
+func TestTEMoveEvalZeroAlloc(t *testing.T) {
+	assertZeroAlloc(t, "BenchTEMoveEval", BenchTEMoveEval)
+}
+func TestSolverConvergeZeroAlloc(t *testing.T) {
+	assertZeroAlloc(t, "BenchSolverConverge", BenchSolverConverge)
+}
+
 // TestFlowMemoryPerFlow10x pins the flyweight claim: retained heap per
 // concurrent flow must be at least 10x smaller than the per-AppGen
 // object model it replaces.
@@ -90,3 +102,5 @@ func BenchmarkFlowEmit(b *testing.B)      { BenchFlowEmit(b) }
 func BenchmarkFlowArriveDepart(b *testing.B) {
 	BenchFlowArriveDepart(b)
 }
+func BenchmarkTEMoveEval(b *testing.B)     { BenchTEMoveEval(b) }
+func BenchmarkSolverConverge(b *testing.B) { BenchSolverConverge(b) }

@@ -19,18 +19,27 @@ type LineStats struct {
 }
 
 // Line is one direction of a Link: a delay model, an optional loss
-// process, an optional bandwidth with a bounded FIFO queue, and an
-// administrative up/down state.
+// process, an optional bandwidth with a bounded FIFO queue, an optional
+// capacity (serialization only, no queue bound — the TE layer's model),
+// and an administrative up/down state.
 type Line struct {
 	from, to *Port
 	shaper   *Shaper
 	lossProb float64
 	// bandwidthBps of 0 means infinite (no serialization delay, no queue).
 	bandwidthBps float64
-	queueLimit   int // max packets in flight waiting for serialization
-	queued       int
-	busyUntil    sim.Time
-	down         bool
+	// capBps models bits-per-virtual-second serialization without a
+	// bounded queue: packets are never dropped, they just wait behind
+	// busyUntil. All its state lives on the send side, so — unlike
+	// bandwidthBps — it is legal on cross-partition lines.
+	capBps     float64
+	queueLimit int // max packets in flight waiting for serialization
+	queued     int
+	busyUntil  sim.Time
+	// utilMark/utilSince anchor the TakeUtilization window.
+	utilMark  uint64
+	utilSince sim.Time
+	down      bool
 	// cross marks a line whose endpoints live on different partitions of a
 	// sharded network; deliveries then ride the coordinator's outboxes.
 	cross bool
@@ -109,6 +118,38 @@ func (l *Line) SetDown(down bool) {
 // Down reports the administrative state.
 func (l *Line) Down() bool { return l.down }
 
+// SetCapacity sets the line's capacity in bits per virtual second, or
+// disables it with 0. Capacity models serialization delay only: an
+// overloaded line builds queueing delay, never drops. It must be set
+// from the line's owning engine (or before the simulation starts) and
+// is mutually exclusive with the bandwidth/queue model.
+func (l *Line) SetCapacity(bps float64) {
+	if bps > 0 && l.bandwidthBps > 0 {
+		panic(fmt.Sprintf("simnet: line %s->%s models both bandwidth and capacity", l.from.node.name, l.to.node.name))
+	}
+	l.capBps = bps
+}
+
+// Capacity returns the line's capacity in bits per virtual second
+// (0 = uncapacitated).
+func (l *Line) Capacity() float64 { return l.capBps }
+
+// TakeUtilization returns the line's mean utilization — offered bits
+// over capacity×elapsed — since the previous call (or since the start
+// of time), and restarts the window at now. It reads the send-side
+// byte counter, so it must run on the line's owning engine (Eng).
+// Uncapacitated lines and empty windows report 0.
+func (l *Line) TakeUtilization(now sim.Time) float64 {
+	bytes := l.Stats.Bytes - l.utilMark
+	elapsed := now - l.utilSince
+	l.utilMark = l.Stats.Bytes
+	l.utilSince = now
+	if l.capBps <= 0 || elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / (l.capBps * elapsed.Seconds())
+}
+
 // InFlight returns the number of packets sent but not yet received:
 // Tx counts admitted packets, of which Lost were dropped by the loss
 // process at send time and Rx have arrived.
@@ -146,7 +187,8 @@ func (l *Line) send(pb *packet.Buf) {
 		return
 	}
 	var txDone sim.Time
-	if l.bandwidthBps > 0 {
+	switch {
+	case l.bandwidthBps > 0:
 		ser := time.Duration(float64(size) * 8 / l.bandwidthBps * float64(time.Second))
 		start := now
 		if l.busyUntil > start {
@@ -155,7 +197,20 @@ func (l *Line) send(pb *packet.Buf) {
 		l.busyUntil = start + ser
 		txDone = l.busyUntil
 		l.queued++
-	} else {
+	case l.capBps > 0:
+		// Capacity mode: serialization delay with an unbounded queue.
+		// busyUntil is read and written only here, on the send-side
+		// engine, and delay only ever grows — so a cross-partition
+		// delivery still leaves at least the propagation floor after
+		// txDone and the conservative epoch scheme stays sound.
+		ser := time.Duration(float64(size) * 8 / l.capBps * float64(time.Second))
+		start := now
+		if l.busyUntil > start {
+			start = l.busyUntil
+		}
+		l.busyUntil = start + ser
+		txDone = l.busyUntil
+	default:
 		txDone = now
 	}
 	prop := l.shaper.Sample(now, l.rngDelay)

@@ -148,6 +148,13 @@ type LinkConfig struct {
 	// QueueLimit bounds the packets awaiting serialization (0 =
 	// unbounded); only meaningful with BandwidthBps > 0.
 	QueueLimit int
+	// CapacityBps of 0 disables capacity modelling. A positive value
+	// adds bits-per-virtual-second serialization with an unbounded
+	// queue (delay instead of drops) — the model the TE layer's
+	// utilization accounting is built on. Unlike BandwidthBps its
+	// state is purely send-side, so it is allowed on cross-partition
+	// links. Mutually exclusive with BandwidthBps.
+	CapacityBps float64
 }
 
 // Connect joins two nodes with a full-duplex link; cfgAB shapes the a-to-b
@@ -185,12 +192,16 @@ func newLine(from, to *Port, cfg LinkConfig, rng *sim.RNG) *Line {
 	if dm == nil {
 		dm = FixedDelay(0)
 	}
+	if cfg.BandwidthBps > 0 && cfg.CapacityBps > 0 {
+		panic(fmt.Sprintf("simnet: link %s->%s models both bandwidth and capacity", from.node.name, to.node.name))
+	}
 	return &Line{
 		from:         from,
 		to:           to,
 		shaper:       NewShaper(dm),
 		lossProb:     cfg.Loss,
 		bandwidthBps: cfg.BandwidthBps,
+		capBps:       cfg.CapacityBps,
 		queueLimit:   cfg.QueueLimit,
 		rngDelay:     rng,
 		rngLoss:      rng, // same stream: loss and delay draws interleave deterministically
@@ -199,8 +210,10 @@ func newLine(from, to *Port, cfg LinkConfig, rng *sim.RNG) *Line {
 
 // checkCross validates one direction of a partition-crossing link: the
 // conservative epoch scheme is only sound when every cross-partition
-// packet is in flight for at least the lookahead, and queues/serialization
-// would put mutable state (busyUntil, queued) on both sides of a barrier.
+// packet is in flight for at least the lookahead, and the bandwidth
+// queue would put mutable state (queued) on both sides of a barrier.
+// CapacityBps is fine: its serialization clock is purely send-side and
+// only ever adds delay on top of the propagation floor.
 func (w *Network) checkCross(name string, cfg LinkConfig) {
 	if cfg.BandwidthBps > 0 {
 		panic(fmt.Sprintf("simnet: cross-partition link %s must not model bandwidth", name))

@@ -1,0 +1,7 @@
+//go:build race
+
+package te
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive tests relax their bounds under it.
+const raceEnabled = true

@@ -125,6 +125,10 @@ type MeshScenario struct {
 	// Trunk[site][provider] is the line carrying traffic from the
 	// provider's hub toward that site; incident injection targets these.
 	Trunk map[string]map[string]*simnet.Line
+	// Uplink[site][provider] is the reverse direction of the same wire:
+	// the line from that site's POP toward the provider's hub. TE-style
+	// capacity accounting needs both directions of a trunk.
+	Uplink map[string]map[string]*simnet.Line
 
 	// HostPrefix / Block / Probe per edge key.
 	HostPrefix map[string]addr.Prefix
@@ -250,6 +254,7 @@ func NewMeshScenario(cfg MeshConfig) (*MeshScenario, error) {
 		Providers:  map[string]*AS{},
 		Edges:      map[string]*AS{},
 		Trunk:      map[string]map[string]*simnet.Line{},
+		Uplink:     map[string]map[string]*simnet.Line{},
 		HostPrefix: map[string]addr.Prefix{},
 		Block:      map[string]addr.Prefix{},
 		Probe:      map[string]addr.Prefix{},
@@ -297,6 +302,7 @@ func NewMeshScenario(cfg MeshConfig) (*MeshScenario, error) {
 		pop := b.AddAS(popName, s.POPASN, rid, 0)
 		m.POPs[s.Name] = pop
 		m.Trunk[s.Name] = map[string]*simnet.Line{}
+		m.Uplink[s.Name] = map[string]*simnet.Line{}
 		for _, at := range s.Attach {
 			prov := m.Providers[at.Provider]
 			if prov == nil {
@@ -314,6 +320,7 @@ func NewMeshScenario(cfg MeshConfig) (*MeshScenario, error) {
 				AllowOwnASA:     s.AllowOwnAS,
 			})
 			m.Trunk[s.Name][at.Provider] = lnk.LineFrom(prov.Node)
+			m.Uplink[s.Name][at.Provider] = lnk.LineFrom(pop.Node)
 		}
 	}
 

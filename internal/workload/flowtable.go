@@ -115,6 +115,11 @@ func flowWord(idx int32, c Class, gen uint8) uint32 {
 	return uint32(idx) | uint32(c)<<flowClassShift | uint32(gen)<<flowGenShift
 }
 
+// flowSrcPort derives a flow's inner UDP source port from its slot
+// index: 1024 distinct ports starting clear of the well-known FlowPort
+// and the tunnels' outer port range.
+func flowSrcPort(i int32) uint16 { return 40000 + uint16(i&1023) }
+
 // sendRec is the sender-owned half of a flow: 12 bytes, touched only by
 // the table's owner engine.
 type sendRec struct {
@@ -239,7 +244,10 @@ func (t *FlowTable) AddEndpoint(sw *dataplane.Switch, src, dst netip.Addr) int {
 		buf := packet.NewSerializeBuffer()
 		pay := packet.Payload(make([]byte, t.classes[c].Payload))
 		udp := &packet.UDP{SrcPort: 7000, DstPort: FlowPort}
-		ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
+		// The flow class rides the inner traffic-class byte so the
+		// data plane (dataplane.ClassSelector) can steer per class
+		// without parsing the Tango payload.
+		ip := &packet.IPv6{NextHeader: packet.ProtoUDP, HopLimit: 64, TrafficClass: uint8(c), Src: src, Dst: dst}
 		if err := packet.SerializeLayers(buf, ip, udp, &pay); err != nil {
 			panic(err)
 		}
@@ -311,6 +319,13 @@ func (t *FlowTable) emit(now sim.Time, i int32) {
 	f := &t.send[i]
 	ep := &t.eps[f.ep]
 	tmpl := ep.tmpl[f.class]
+	// Each flow stamps its own inner source port so hash-based selectors
+	// (ECMP-style stickiness hashes addresses+ports) see distinct flows,
+	// not one aggregate. The sink identifies flows by the flow word and
+	// destination port, never the source port, and the template's UDP
+	// checksum is the all-zero "not computed" value, so the in-place
+	// rewrite stays consistent.
+	binary.BigEndian.PutUint16(tmpl[40:42], flowSrcPort(i))
 	binary.BigEndian.PutUint32(tmpl[48:52], f.seq)
 	binary.BigEndian.PutUint32(tmpl[52:56], flowWord(i, Class(f.class), f.gen))
 	binary.BigEndian.PutUint64(tmpl[56:64], uint64(now))

@@ -7,6 +7,7 @@ import (
 	"tango/internal/bgp"
 	"tango/internal/control"
 	"tango/internal/core"
+	"tango/internal/dataplane"
 	"tango/internal/events"
 	"tango/internal/obs"
 	"tango/internal/topo"
@@ -78,6 +79,11 @@ type Mesh struct {
 	nameFor  func(bgp.ASN) string
 	chaos    *Chaos
 	buildErr error
+
+	// trunkCap records SetTrunkCapacity declarations for the steering
+	// optimizer; steer holds the per-pair class selectors it installed.
+	trunkCap map[[2]string]float64
+	steer    map[[2]string]*dataplane.ClassSelector
 }
 
 // NewMesh builds the simulated N-site deployment (BGP converged, host
