@@ -96,6 +96,20 @@ type ShardResult struct {
 	ChecksPass bool    `json:"checks_pass"`
 }
 
+// LoopbackResult records the two-process loopback run (-loopback):
+// two tangod processes on real UDP sockets over 127.0.0.1, judged
+// against the simulated E8-live reference, plus the sustained Tango
+// frame rate measured from their /metrics scrapes.
+type LoopbackResult struct {
+	PathA       int     `json:"path_a"`
+	PathB       int     `json:"path_b"`
+	MatchesSim  bool    `json:"matches_sim"`
+	ConvergedMs float64 `json:"converged_ms"`
+	PPS         float64 `json:"pps"`
+	Frames      uint64  `json:"frames"`
+	WindowMs    float64 `json:"window_ms"`
+}
+
 // Report is the BENCH.json schema. GOMAXPROCS, Shards, and Flows are
 // recorded so perf history stays comparable across machines, shard
 // counts, and flow-table populations.
@@ -110,6 +124,7 @@ type Report struct {
 	Experiments []ExperimentResult `json:"experiments,omitempty"`
 	Suite       *SuiteResult       `json:"suite,omitempty"`
 	Shard       *ShardResult       `json:"shard,omitempty"`
+	Loopback    *LoopbackResult    `json:"loopback,omitempty"`
 }
 
 // HistoryEntry is one record in the BENCH_HISTORY.json append log.
@@ -137,6 +152,8 @@ func realMain() int {
 		shards    = flag.Int("shards", 0, "also run a reduced E12 storm mesh on N shard workers as a smoke test (0 = skip)")
 		e12       = flag.Bool("e12", false, "also time the full E12 scale experiment at 1 shard worker vs. 8")
 		e14       = flag.Bool("e14", false, "also run a reduced E14 discovery sweep as a smoke test")
+		loopback  = flag.Bool("loopback", false, "also run the two-process UDP loopback deployment (E8-live) and record sustained pps")
+		tangodBin = flag.String("tangod", "", "tangod binary for -loopback ('' builds ./cmd/tangod into a temp dir)")
 		sites     = flag.Int("sites", 0, "override the site count for -shards/-e12/-e14 (0 = defaults: 12 smoke, 64 full, 16 sweep)")
 		history   = flag.String("history", "BENCH_HISTORY.json", "append (sha, time, report) to this JSON log ('' = skip)")
 		compare   = flag.String("compare", "", "baseline report to diff against; regressions exit non-zero")
@@ -275,6 +292,22 @@ func realMain() int {
 		}
 	}
 
+	if *loopback {
+		lr, err := runLoopback(*tangodBin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loopback: %v\n", err)
+			regressed = true
+		}
+		if lr != nil {
+			rep.Loopback = lr
+			fmt.Printf("loopback (E8-live)  a->path %d, b->path %d (matches sim: %v)  converged %.0f ms  sustained %.0f frames/s\n",
+				lr.PathA, lr.PathB, lr.MatchesSim, lr.ConvergedMs, lr.PPS)
+			if !lr.MatchesSim {
+				regressed = true
+			}
+		}
+	}
+
 	if *parallel > 0 {
 		rep.Suite = timeSuite(*parallel)
 		fmt.Printf("suite (%d exps)  serial %.0f ms, %d workers %.0f ms: %.2fx\n",
@@ -325,6 +358,39 @@ func realMain() int {
 		return 1
 	}
 	return 0
+}
+
+// runLoopback builds tangod if needed and runs the two-process loopback
+// deployment, verifying it converges like the simulated reference first.
+func runLoopback(bin string) (*LoopbackResult, error) {
+	if r := experiments.E8LiveSim(experiments.Config{Seed: 1}); !r.Passed() {
+		return nil, fmt.Errorf("simulated E8-live reference did not converge")
+	}
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "tango-bench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		bin = dir + "/tangod"
+		build := exec.Command("go", "build", "-o", bin, "tango/cmd/tangod")
+		if out, err := build.CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("go build tangod: %v\n%s", err, out)
+		}
+	}
+	rep, err := experiments.RunE8Loopback(experiments.LoopbackConfig{Tangod: bin, Measure: 2 * time.Second})
+	if rep == nil {
+		return nil, err
+	}
+	return &LoopbackResult{
+		PathA:       rep.PathA,
+		PathB:       rep.PathB,
+		MatchesSim:  rep.MatchesSim,
+		ConvergedMs: float64(rep.ConvergedIn.Nanoseconds()) / 1e6,
+		PPS:         rep.PPS,
+		Frames:      rep.Frames,
+		WindowMs:    float64(rep.Window.Nanoseconds()) / 1e6,
+	}, err
 }
 
 func findMicro(ms []MicroResult, name string) *MicroResult {

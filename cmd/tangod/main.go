@@ -37,8 +37,37 @@ func main() {
 		event   = flag.String("event", "none", "incident to inject on GTT NY->LA: none, route-shift, instability")
 		eventAt = flag.Duration("event-at", time.Hour, "virtual time of the incident")
 		metrics = flag.String("metrics", "", "serve Prometheus /metrics and JSON /trace on this address (e.g. :9090)")
+
+		// -transport udp runs one real endpoint on a UDP socket instead
+		// of the whole simulated deployment; see live.go.
+		transport = flag.String("transport", "sim", "transport backend: sim (whole deployment, virtual time) or udp (one endpoint, real socket, wall time)")
+		site      = flag.String("site", "site-a", "udp: site name (labels metrics, derives outer addresses)")
+		listen    = flag.String("listen", "127.0.0.1:0", "udp: UDP bind address")
+		peer      = flag.String("peer", "", "udp: peer socket address to dial; empty waits for a dialer")
+		paths     = flag.String("paths", "NTT:12ms,GTT:30ms,Cogent:20ms", "udp: outgoing paths as NAME:DELAY,... (emulated one-way delays)")
+		probeIv   = flag.Duration("probe-interval", 20*time.Millisecond, "udp: probe send interval per path")
+		reportIv  = flag.Duration("report-every", 25*time.Millisecond, "udp: piggybacked report interval")
+		decideIv  = flag.Duration("decide-every", 100*time.Millisecond, "udp: controller decision interval")
+		duration  = flag.Duration("duration", 0, "udp: wall-clock run time; 0 runs until SIGINT/SIGTERM")
+		addrFile  = flag.String("addr-file", "", "udp: write the bound socket address to this file")
+		readyFile = flag.String("ready-file", "", "udp: write to this file once the pair is established")
+		statusIv  = flag.Duration("status-every", 2*time.Second, "udp: wall-clock time between status prints")
 	)
 	flag.Parse()
+
+	switch *transport {
+	case "udp":
+		os.Exit(runLive(liveOptions{
+			Site: *site, Listen: *listen, Peer: *peer, Paths: *paths,
+			Policy: *policy, Metrics: *metrics,
+			ProbeInterval: *probeIv, ReportEvery: *reportIv, DecideEvery: *decideIv,
+			Duration: *duration, AddrFile: *addrFile, ReadyFile: *readyFile, Status: *statusIv,
+		}))
+	case "sim":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
 
 	var pol tango.Policy
 	switch *policy {

@@ -133,7 +133,7 @@ func TestConservationAndBufferBalanceOnLiveTraffic(t *testing.T) {
 	dst := netip.MustParseAddr("2001:db8::b")
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
-	b.SetHandler(func(*simnet.Port, []byte) {})
+	b.SetHandler(func([]byte) {})
 
 	pkt := mkPkt(t, "2001:db8::a", "2001:db8::b")
 	sim.NewTicker(w.Eng, 5*time.Millisecond, func(sim.Time) { a.Inject(pkt) })

@@ -32,7 +32,7 @@ func stormRun(seed int64) string {
 
 	dst := netip.MustParseAddr("2001:db8::c")
 	c.AddAddr(dst)
-	c.SetHandler(func(*simnet.Port, []byte) {})
+	c.SetHandler(func([]byte) {})
 	pfx := addr.MustParsePrefix("2001:db8::/32")
 	a.SetRoute(pfx, a.Ports()[0])
 	b.SetRoute(pfx, b.Ports()[1])

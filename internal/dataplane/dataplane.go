@@ -30,6 +30,7 @@ import (
 	"tango/internal/packet"
 	"tango/internal/sim"
 	"tango/internal/simnet"
+	"tango/internal/transport"
 )
 
 // Tunnel is one unidirectional wide-area path to the peer switch: traffic
@@ -93,7 +94,7 @@ type Selector func(inner []byte) *Tunnel
 // host traffic leaving the site and the receiver program for Tango
 // traffic arriving from the wide area.
 type Switch struct {
-	node  *simnet.Node
+	ep    transport.Endpoint
 	clock *sim.Clock
 
 	tunnels   []*Tunnel // indexed lookup by PathID
@@ -235,22 +236,31 @@ func (so *switchObs) rxCounter(id uint8) *obs.Counter {
 	return c
 }
 
-// NewSwitch attaches a Tango switch to a simnet node. It takes over the
-// node's local-delivery handler.
-func NewSwitch(node *simnet.Node) *Switch {
+// NewSwitch attaches a Tango switch to a transport endpoint — a simnet
+// node (virtual time) or a real-socket backend (wall clock); the switch
+// cannot tell them apart. It takes over the endpoint's local-delivery
+// handler.
+func NewSwitch(ep transport.Endpoint) *Switch {
 	s := &Switch{
-		node:      node,
-		clock:     node.Clock(),
+		ep:        ep,
+		clock:     ep.Clock(),
 		tunnelIDs: make(map[uint8]*Tunnel),
-		pool:      node.Pool(),
+		pool:      ep.Pool(),
 	}
 	s.DeliverLocal = func(inner []byte) {} // dropped unless the site wires a host side
-	node.SetHandler(s.handle)
+	ep.SetHandler(s.handle)
 	return s
 }
 
-// Node returns the underlying simnet node.
-func (s *Switch) Node() *simnet.Node { return s.node }
+// Endpoint returns the transport endpoint the switch is attached to.
+func (s *Switch) Endpoint() transport.Endpoint { return s.ep }
+
+// Node returns the underlying simnet node when the switch runs on the
+// simulated transport, or nil on a real-socket backend.
+func (s *Switch) Node() *simnet.Node {
+	n, _ := s.ep.(*simnet.Node)
+	return n
+}
 
 // AddTunnel registers a path. The tunnel's local endpoint address is
 // claimed on the node so arriving outer packets are delivered here.
@@ -260,7 +270,7 @@ func (s *Switch) AddTunnel(t *Tunnel) {
 	}
 	s.tunnels = append(s.tunnels, t)
 	s.tunnelIDs[t.PathID] = t
-	s.node.AddAddr(t.LocalAddr)
+	s.ep.AddAddr(t.LocalAddr)
 	if s.sobs != nil {
 		s.sobs.addTunnel(t.PathID)
 	}
@@ -283,7 +293,7 @@ func (s *Switch) RemoveTunnel(pathID uint8) {
 			break
 		}
 	}
-	s.node.RemoveAddr(t.LocalAddr)
+	s.ep.RemoveAddr(t.LocalAddr)
 }
 
 // Tunnels returns the registered tunnels in registration order.
@@ -366,9 +376,9 @@ func (s *Switch) SendOnTunnel(tun *Tunnel, inner []byte) {
 	tun.Stats.ProbeSent += tun.Stats.Sent - before
 }
 
-// handle is the node's local-delivery hook: every packet addressed to one
-// of the node's owned addresses lands here.
-func (s *Switch) handle(_ *simnet.Port, data []byte) {
+// handle is the endpoint's local-delivery hook: every packet addressed to
+// one of the endpoint's owned addresses lands here.
+func (s *Switch) handle(data []byte) {
 	if s.isTangoPacket(data) {
 		s.receiverProgram(data)
 		return
@@ -394,7 +404,7 @@ func (s *Switch) HandleHostTraffic(data []byte) {
 		s.encapAndSend(data, ttl)
 		return
 	}
-	s.node.Inject(data)
+	s.ep.Inject(data)
 }
 
 func innerDst(data []byte) (netip.Addr, bool) {
@@ -534,7 +544,7 @@ func (s *Switch) encapOn(tun *Tunnel, inner []byte, relayTTL uint8, probe bool) 
 	}
 	tun.Stats.Sent++
 	s.Stats.Encapped++
-	s.node.InjectBuf(pb)
+	s.ep.InjectBuf(pb)
 	if so := s.sobs; so != nil {
 		so.encapped.Inc()
 		so.tx[tun.PathID].Inc()
@@ -596,7 +606,7 @@ func (s *Switch) receiverProgram(data []byte) {
 	if hdr.Flags&packet.TangoFlagTimestamp != 0 && s.OnMeasure != nil {
 		owd := time.Duration(s.clock.Now() - hdr.SendTime)
 		s.OnMeasure(Measurement{
-			At:     s.node.Network().Now(),
+			At:     s.ep.Now(),
 			PathID: hdr.PathID,
 			OWD:    owd,
 			Seq:    hdr.Seq,

@@ -121,7 +121,7 @@ func TestRelayTagOnWire(t *testing.T) {
 	c := newRelayChain(t)
 	seen := map[uint8]uint8{} // pathID -> ttl observed at relay ingress
 	var atIn packet.Tango
-	c.swIn.node.SetHandler(func(p *simnet.Port, data []byte) {
+	c.swIn.ep.SetHandler(func(data []byte) {
 		var ip packet.IPv6
 		var udp packet.UDP
 		if ip.DecodeFromBytes(data) != nil || udp.DecodeFromBytes(ip.LayerPayload()) != nil {

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE8LiveSimConverges(t *testing.T) {
+	r := E8LiveSim(Config{Seed: 1})
+	if !r.Passed() {
+		for _, c := range r.Checks {
+			t.Logf("[%v] %s: %s", c.Pass, c.Name, c.Measured)
+		}
+		t.Fatal("E8-live simulated reference did not converge to the expected paths")
+	}
+}
+
+func TestE8LiveSimSeedInvariant(t *testing.T) {
+	// The scenario has no randomness that matters (fixed delays, no
+	// loss): any seed must converge identically.
+	for _, seed := range []int64{1, 7, 1234} {
+		if r := E8LiveSim(Config{Seed: seed}); !r.Passed() {
+			t.Fatalf("seed %d: not converged", seed)
+		}
+	}
+}
+
+func TestLivePathSpecs(t *testing.T) {
+	if got := LivePathSpecA(); got != "NTT:30ms,GTT:12ms,Cogent:20ms" {
+		t.Fatalf("spec A = %q", got)
+	}
+	if got := LivePathSpecB(); got != "NTT:18ms,GTT:25ms,Cogent:9ms" {
+		t.Fatalf("spec B = %q", got)
+	}
+}
+
+func TestParseProm(t *testing.T) {
+	text := `# HELP tango_transport_tx_frames_total Tango frames written.
+# TYPE tango_transport_tx_frames_total counter
+tango_transport_tx_frames_total{site="site-a"} 446
+tango_controller_current_path{site="site-a"} 2
+malformed_line_without_value
+tango_estimate_owd_ms{path="1",site="site-a"} -474.19
+`
+	m, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[`tango_transport_tx_frames_total{site="site-a"}`] != 446 {
+		t.Fatalf("tx frames = %v", m)
+	}
+	if m[`tango_controller_current_path{site="site-a"}`] != 2 {
+		t.Fatal("current path missing")
+	}
+	if m[`tango_estimate_owd_ms{path="1",site="site-a"}`] != -474.19 {
+		t.Fatal("negative gauge mangled")
+	}
+	if len(m) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(m))
+	}
+}

@@ -19,7 +19,7 @@ func TestCapacitySerialization(t *testing.T) {
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 	var times []sim.Time
-	b.SetHandler(func(*Port, []byte) { times = append(times, w.Now()) })
+	b.SetHandler(func([]byte) { times = append(times, w.Now()) })
 
 	pkt := mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2)
 	a.Inject(pkt)
@@ -44,7 +44,7 @@ func TestCapacityDelaysButNeverDrops(t *testing.T) {
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 	got := 0
-	b.SetHandler(func(*Port, []byte) { got++ })
+	b.SetHandler(func([]byte) { got++ })
 
 	const n = 25
 	for i := 0; i < n; i++ {
@@ -79,7 +79,7 @@ func TestCapacityAllowedOnCrossPartitionLinks(t *testing.T) {
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 	var times []sim.Time
-	b.SetHandler(func(*Port, []byte) { times = append(times, b.Eng().Now()) })
+	b.SetHandler(func([]byte) { times = append(times, b.Eng().Now()) })
 
 	w.Coord().EnterParallel()
 	a.Eng().ScheduleAt(sim.Time(time.Millisecond), func() {
@@ -133,7 +133,7 @@ func TestTakeUtilizationWindows(t *testing.T) {
 	dst := netip.MustParseAddr("2001:db8::b")
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
-	b.SetHandler(func(*Port, []byte) {})
+	b.SetHandler(func([]byte) {})
 	line := w.Links()[0].LineAB()
 
 	a.Inject(mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2)) // 60 bytes

@@ -1,0 +1,26 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/transport/transporttest"
+)
+
+// TestEndpointConformance runs the shared transport.Endpoint suite
+// against a simulated node: the same tests internal/transport/udp runs
+// against the socket backend, so the two implementations cannot drift
+// apart behind the interface.
+func TestEndpointConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) *transporttest.Harness {
+		w := New(1)
+		n := w.AddNode("ep", 0)
+		return &transporttest.Harness{
+			EP: n,
+			// The suite runs single-goroutine like the simulation itself,
+			// so event context is just "now".
+			Do:    func(fn func()) { fn() },
+			Sleep: func(d time.Duration) { w.Run(w.Now() + d) },
+		}
+	})
+}

@@ -18,7 +18,7 @@ func TestNodeLocalOut(t *testing.T) {
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 	got := 0
-	b.SetHandler(func(*Port, []byte) { got++ })
+	b.SetHandler(func([]byte) { got++ })
 
 	pay := packet.Payload([]byte("via LocalOut"))
 	udp := &packet.UDP{SrcPort: 1, DstPort: 2}

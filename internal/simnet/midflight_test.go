@@ -21,7 +21,7 @@ func midflightNet(t *testing.T) (*Network, *Node, *Line, *int) {
 	b.AddAddr(netip.MustParseAddr("2001:db8::b"))
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 	delivered := 0
-	b.SetHandler(func(*Port, []byte) { delivered++ })
+	b.SetHandler(func([]byte) { delivered++ })
 	return w, a, lk.LineAB(), &delivered
 }
 

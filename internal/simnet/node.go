@@ -8,13 +8,20 @@ import (
 	"tango/internal/addr"
 	"tango/internal/packet"
 	"tango/internal/sim"
+	"tango/internal/transport"
 )
 
 // Handler consumes packets delivered locally to a node (the destination
 // address is owned by the node). The data slice is a borrow: it views a
 // pooled packet buffer that the node releases as soon as the handler
-// returns, so a handler that wants to keep bytes must copy them.
-type Handler func(from *Port, data []byte)
+// returns, so a handler that wants to keep bytes must copy them. It is
+// the transport-level delivery callback: Node is the simulated backend
+// of transport.Endpoint, and the handler contract is owned there.
+type Handler = transport.Handler
+
+// Node implements transport.Endpoint: the dataplane drives a simulated
+// node through exactly the surface a real-socket backend provides.
+var _ transport.Endpoint = (*Node)(nil)
 
 // NodeStats counts per-node data-plane activity.
 type NodeStats struct {
@@ -72,6 +79,10 @@ func (n *Node) Network() *Network { return n.net }
 // Eng returns the engine of the node's partition (the network engine on
 // an unsharded network).
 func (n *Node) Eng() *sim.Engine { return n.eng }
+
+// Now returns the node's current event time: its partition engine's
+// virtual time (transport.Endpoint surface).
+func (n *Node) Now() sim.Time { return n.eng.Now() }
 
 // Part returns the node's partition index (0 on an unsharded network).
 func (n *Node) Part() int { return n.part }
@@ -200,7 +211,7 @@ func (n *Node) route(from *Port, pb *packet.Buf) {
 	if n.owned[dst] > 0 {
 		n.Stats.Delivered++
 		if n.handler != nil {
-			n.handler(from, data)
+			n.handler(data)
 		}
 		pb.Release()
 		return

@@ -57,7 +57,7 @@ func TestShardedDeliveryAcrossPartitions(t *testing.T) {
 
 	var gotAt sim.Time
 	deliveries := 0
-	b.SetHandler(func(from *Port, data []byte) {
+	b.SetHandler(func(data []byte) {
 		gotAt = b.Eng().Now()
 		deliveries++
 	})

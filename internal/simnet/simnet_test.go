@@ -43,7 +43,7 @@ func TestDirectDelivery(t *testing.T) {
 
 	var gotAt sim.Time
 	var got []byte
-	b.SetHandler(func(from *Port, data []byte) {
+	b.SetHandler(func(data []byte) {
 		gotAt = w.Now()
 		got = data
 	})
@@ -78,7 +78,7 @@ func TestMultiHopForwardingAndTTL(t *testing.T) {
 
 	delivered := 0
 	var hopAtDelivery uint8
-	b.SetHandler(func(_ *Port, data []byte) {
+	b.SetHandler(func(data []byte) {
 		delivered++
 		hopAtDelivery = data[7]
 	})
@@ -139,7 +139,7 @@ func TestLoss(t *testing.T) {
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 	got := 0
-	b.SetHandler(func(*Port, []byte) { got++ })
+	b.SetHandler(func([]byte) { got++ })
 
 	const n = 2000
 	for i := 0; i < n; i++ {
@@ -165,7 +165,7 @@ func TestLinkDown(t *testing.T) {
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 	got := 0
-	b.SetHandler(func(*Port, []byte) { got++ })
+	b.SetHandler(func([]byte) { got++ })
 
 	l.LineAB().SetDown(true)
 	a.Inject(mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2))
@@ -194,7 +194,7 @@ func TestBandwidthSerialization(t *testing.T) {
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 	var times []sim.Time
-	b.SetHandler(func(*Port, []byte) { times = append(times, w.Now()) })
+	b.SetHandler(func([]byte) { times = append(times, w.Now()) })
 
 	pkt := mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2)
 	if len(pkt) != 60 { // 40 IPv6 + 8 UDP + 12 payload
@@ -221,7 +221,7 @@ func TestQueueOverflow(t *testing.T) {
 	b.AddAddr(dst)
 	a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 	got := 0
-	b.SetHandler(func(*Port, []byte) { got++ })
+	b.SetHandler(func([]byte) { got++ })
 
 	for i := 0; i < 10; i++ {
 		a.Inject(mkPkt(t, "2001:db8::a", "2001:db8::b", 64, 1, 2))
@@ -255,7 +255,7 @@ func TestECMPPinsFlows(t *testing.T) {
 	r1.SetRoute(dst, r1.Ports()[1])
 	r2.SetRoute(dst, r2.Ports()[1])
 	got := 0
-	b.SetHandler(func(*Port, []byte) { got++ })
+	b.SetHandler(func([]byte) { got++ })
 
 	// Same flow always takes the same router.
 	for i := 0; i < 50; i++ {
@@ -381,7 +381,7 @@ func TestIPv4ForwardingChecksumRepair(t *testing.T) {
 	copy(raw, buf.Bytes())
 
 	var delivered []byte
-	b.SetHandler(func(_ *Port, data []byte) { delivered = append([]byte(nil), data...) })
+	b.SetHandler(func(data []byte) { delivered = append([]byte(nil), data...) })
 	a.Inject(raw)
 	w.Run(time.Second)
 	if delivered == nil {
@@ -432,7 +432,7 @@ func TestDeterministicReplay(t *testing.T) {
 		b.AddAddr(dst)
 		a.SetRoute(addr.MustParsePrefix("2001:db8::/32"), a.Ports()[0])
 		var lastAt sim.Time
-		b.SetHandler(func(*Port, []byte) { lastAt = w.Now() })
+		b.SetHandler(func([]byte) { lastAt = w.Now() })
 		for i := 0; i < 500; i++ {
 			pkt := mkPkt(t, "2001:db8::a", "2001:db8::b", 64, uint16(i), 2)
 			w.Eng.Schedule(time.Duration(i)*time.Millisecond, func() { a.Inject(pkt) })

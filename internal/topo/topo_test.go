@@ -66,7 +66,7 @@ func TestScenarioDataPlaneDefaultPath(t *testing.T) {
 	_ = arrived
 	gotAt := time.Duration(-1)
 	start := s.B.W.Now()
-	s.EdgeLA.Node.SetHandler(func(_ *simnet.Port, data []byte) {
+	s.EdgeLA.Node.SetHandler(func(data []byte) {
 		gotAt = time.Duration(s.B.W.Now() - start)
 	})
 

@@ -1,0 +1,31 @@
+package transport
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestDst(t *testing.T) {
+	v6 := make([]byte, 40)
+	v6[0] = 0x60
+	want6 := netip.MustParseAddr("fd00::42")
+	d := want6.As16()
+	copy(v6[24:40], d[:])
+	if got, ok := Dst(v6); !ok || got != want6 {
+		t.Fatalf("Dst(v6) = %v, %v", got, ok)
+	}
+
+	v4 := make([]byte, 20)
+	v4[0] = 0x45
+	copy(v4[16:20], []byte{10, 0, 0, 7})
+	want4 := netip.MustParseAddr("10.0.0.7")
+	if got, ok := Dst(v4); !ok || got != want4 {
+		t.Fatalf("Dst(v4) = %v, %v", got, ok)
+	}
+
+	for _, bad := range [][]byte{nil, {0x60}, {0x45, 0, 0}, {0x30, 1, 2, 3}, make([]byte, 39)} {
+		if _, ok := Dst(bad); ok {
+			t.Fatalf("Dst(%v) accepted", bad)
+		}
+	}
+}

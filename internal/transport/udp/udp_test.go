@@ -1,0 +1,254 @@
+package udp
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tango/internal/transport/transporttest"
+)
+
+func newBackend(t *testing.T, name string) *Backend {
+	t.Helper()
+	b, err := New(Config{Name: name, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b.Start()
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// TestEndpointConformance runs the shared transport.Endpoint suite
+// against the socket backend — the same tests internal/simnet runs
+// against the simulated node.
+func TestEndpointConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) *transporttest.Harness {
+		b := newBackend(t, "conf")
+		return &transporttest.Harness{
+			EP:    b,
+			Do:    b.Do,
+			Sleep: time.Sleep,
+		}
+	})
+}
+
+// waitFor polls cond (under Do) until it holds or the deadline passes.
+func waitFor(t *testing.T, b *Backend, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		var ok bool
+		b.Do(func() { ok = cond() })
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestTwoBackendsExchangeFrames moves real datagrams between two bound
+// sockets: a routed frame leaves A, crosses loopback, and is delivered
+// by B's handler; an emulated route delay holds the frame back at the
+// sender for at least that long.
+func TestTwoBackendsExchangeFrames(t *testing.T) {
+	a := newBackend(t, "a")
+	b := newBackend(t, "b")
+
+	dst := netip.MustParseAddr("fd00:7e57::b1")
+	var got []byte
+	var at time.Time
+	b.Do(func() {
+		b.AddAddr(dst)
+		b.SetHandler(func(data []byte) {
+			got = append([]byte(nil), data...)
+			at = time.Now()
+		})
+	})
+
+	f := mkFrame(dst, []byte("over the wire"))
+	sent := time.Now()
+	a.Do(func() {
+		a.AddRoute(dst, b.Addr(), 30*time.Millisecond)
+		a.Inject(f)
+	})
+	waitFor(t, b, 2*time.Second, "frame delivery", func() bool { return got != nil })
+
+	if string(got[40:]) != "over the wire" {
+		t.Fatalf("payload = %q", got[40:])
+	}
+	if el := at.Sub(sent); el < 30*time.Millisecond {
+		t.Fatalf("frame arrived after %v, before the 30ms emulated delay", el)
+	}
+	if s := a.Stats(); s.TxFrames != 1 {
+		t.Fatalf("a tx frames = %d, want 1", s.TxFrames)
+	}
+	if s := b.Stats(); s.RxFrames != 1 {
+		t.Fatalf("b rx frames = %d, want 1", s.RxFrames)
+	}
+
+	// A frame for an address B does not own is counted, not delivered.
+	a.Do(func() {
+		other := netip.MustParseAddr("fd00:7e57::99")
+		a.AddRoute(other, b.Addr(), 0)
+		a.Inject(mkFrame(other, nil))
+	})
+	waitFor(t, b, 2*time.Second, "not-owned drop", func() bool { return b.Stats().NotOwned == 1 })
+}
+
+// mkFrame builds a minimal IPv6 frame to dst.
+func mkFrame(dst netip.Addr, payload []byte) []byte {
+	f := make([]byte, 40+len(payload))
+	f[0] = 0x60
+	f[4], f[5] = byte(len(payload)>>8), byte(len(payload))
+	f[6], f[7] = 17, 64
+	src := netip.MustParseAddr("fd00:7e57::1").As16()
+	copy(f[8:24], src[:])
+	d := dst.As16()
+	copy(f[24:40], d[:])
+	copy(f[40:], payload)
+	return f
+}
+
+func TestParsePaths(t *testing.T) {
+	ps, err := ParsePaths(" NTT:12ms, GTT:30ms,Cogent:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PathSpec{{1, "NTT", 12 * time.Millisecond}, {2, "GTT", 30 * time.Millisecond}, {3, "Cogent", 20 * time.Millisecond}}
+	if len(ps) != len(want) {
+		t.Fatalf("got %d paths", len(ps))
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("path %d = %+v, want %+v", i, ps[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "NTT", "NTT:-3ms", "NTT:fast"} {
+		if _, err := ParsePaths(bad); err == nil {
+			t.Errorf("ParsePaths(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSiteAddrsDeterministicAndDisjoint(t *testing.T) {
+	swA, epA := SiteAddrs("alpha", 3)
+	swA2, epA2 := SiteAddrs("alpha", 3)
+	if swA != swA2 || epA[2] != epA2[2] {
+		t.Fatal("SiteAddrs not deterministic")
+	}
+	swB, epB := SiteAddrs("beta", 3)
+	if swA == swB {
+		t.Fatal("switch addresses collide across sites")
+	}
+	seen := map[netip.Addr]bool{swA: true, swB: true}
+	for _, ep := range append(epA, epB...) {
+		if seen[ep] {
+			t.Fatalf("address %s reused", ep)
+		}
+		seen[ep] = true
+	}
+}
+
+// TestSessionHandshake establishes a pair over loopback and checks both
+// sides converge on matching peer views and installed routes.
+func TestSessionHandshake(t *testing.T) {
+	paths := []PathSpec{{1, "NTT", 10 * time.Millisecond}, {2, "GTT", 20 * time.Millisecond}}
+	a := newBackend(t, "a")
+	b := newBackend(t, "b")
+
+	var sa, sb *Session
+	b.Do(func() {
+		sb = NewSession(b, "site-b", paths)
+		sb.OnError = func(err error) { t.Errorf("site-b: %v", err) }
+	})
+	a.Do(func() {
+		sa = NewSession(a, "site-a", paths)
+		sa.OnError = func(err error) { t.Errorf("site-a: %v", err) }
+		sa.Dial(b.Addr())
+	})
+
+	waitFor(t, a, 5*time.Second, "dialer established", func() bool { return sa.Established() })
+	waitFor(t, b, 5*time.Second, "listener established", func() bool { return sb.Established() })
+
+	a.Do(func() {
+		p := sa.Peer()
+		if p.Site != "site-b" {
+			t.Errorf("peer site = %q", p.Site)
+		}
+		wantSw, wantEp := SiteAddrs("site-b", 2)
+		if p.SwitchAddr != wantSw || p.Endpoints[1] != wantEp[1] {
+			t.Errorf("peer addrs not derived from site name")
+		}
+		// Routes toward every peer endpoint were installed at establish.
+		for _, ep := range p.Endpoints {
+			if a.routes[ep] == nil {
+				t.Errorf("no route to peer endpoint %s", ep)
+			}
+		}
+		if a.routes[p.Endpoints[0]].delay != 10*time.Millisecond {
+			t.Errorf("route delay = %v, want local outgoing path delay", a.routes[p.Endpoints[0]].delay)
+		}
+	})
+	b.Do(func() {
+		if sb.Peer().Site != "site-a" {
+			t.Errorf("listener peer site = %q", sb.Peer().Site)
+		}
+	})
+}
+
+// TestSessionPathMismatch checks a handshake between endpoints whose
+// path sets differ is rejected with an error, not silently established.
+func TestSessionPathMismatch(t *testing.T) {
+	a := newBackend(t, "a")
+	b := newBackend(t, "b")
+
+	errs := make(chan error, 4)
+	b.Do(func() {
+		s := NewSession(b, "site-b", []PathSpec{{1, "NTT", 0}})
+		s.OnError = func(err error) { errs <- err }
+		s.OnEstablished = func(*Peer) { t.Error("listener established despite mismatch") }
+	})
+	a.Do(func() {
+		s := NewSession(a, "site-a", []PathSpec{{1, "Cogent", 0}})
+		s.Dial(b.Addr())
+	})
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no mismatch error")
+	}
+}
+
+// TestManyRoutedFrames pushes a burst through the delayed-route path to
+// exercise the scheduled-transmit machinery under -race.
+func TestManyRoutedFrames(t *testing.T) {
+	a := newBackend(t, "a")
+	b := newBackend(t, "b")
+	dst := netip.MustParseAddr("fd00:7e57::b1")
+	var n int
+	b.Do(func() {
+		b.AddAddr(dst)
+		b.SetHandler(func([]byte) { n++ })
+	})
+	const total = 200
+	a.Do(func() { a.AddRoute(dst, b.Addr(), time.Millisecond) })
+	for i := 0; i < total; i++ {
+		a.Do(func() { a.Inject(mkFrame(dst, []byte(fmt.Sprintf("%03d", i)))) })
+	}
+	// UDP over loopback is lossless in practice, but do not fail the
+	// suite on a kernel-dropped datagram: require near-complete delivery.
+	waitFor(t, b, 5*time.Second, "burst delivery", func() bool { return n >= total*9/10 })
+	a.Do(func() {
+		if s := a.Pool().Stats; s.Gets != s.Puts {
+			t.Fatalf("sender pool leases unbalanced: %d gets, %d puts", s.Gets, s.Puts)
+		}
+	})
+}
